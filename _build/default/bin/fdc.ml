@@ -1,0 +1,247 @@
+(* fdc: the Fortran D compiler driver.
+
+   Subcommands:
+     fdc ast <file>        - dump the parsed and checked program
+     fdc acg <file>        - dump the augmented call graph
+     fdc spmd <file>       - compile and print the SPMD node program
+     fdc run <file>        - compile, simulate, verify, print statistics
+*)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let strategy_conv =
+  Arg.enum
+    [ ("interproc", Fd_core.Options.Interproc);
+      ("immediate", Fd_core.Options.Immediate);
+      ("runtime", Fd_core.Options.Runtime_resolution) ]
+
+let remap_conv =
+  Arg.enum
+    [ ("none", Fd_core.Options.Remap_none); ("live", Fd_core.Options.Remap_live);
+      ("hoist", Fd_core.Options.Remap_hoist); ("kill", Fd_core.Options.Remap_kill) ]
+
+let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+
+let nprocs_arg =
+  Arg.(value & opt int 4 & info [ "p"; "nprocs" ] ~doc:"Number of logical processors")
+
+let strategy_arg =
+  Arg.(value & opt strategy_conv Fd_core.Options.Interproc
+       & info [ "s"; "strategy" ] ~doc:"Compilation strategy")
+
+let remap_arg =
+  Arg.(value & opt remap_conv Fd_core.Options.Remap_kill
+       & info [ "remap" ] ~doc:"Dynamic-decomposition optimization level")
+
+let collectives_arg =
+  Arg.(value & flag & info [ "no-collectives" ] ~doc:"Expand broadcasts to sends")
+
+let trace_arg =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Print the communication-event timeline")
+
+let no_agg_arg =
+  Arg.(value & flag & info [ "no-aggregation" ] ~doc:"Disable message aggregation")
+
+let opts_of ?(no_agg = false) nprocs strategy remap no_coll =
+  { Fd_core.Options.default with
+    Fd_core.Options.nprocs; strategy; remap_level = remap;
+    use_collectives = not no_coll; aggregate_messages = not no_agg }
+
+let wrap f =
+  try f (); 0
+  with
+  | Fd_support.Diag.Compile_error d ->
+    Fmt.epr "%s@." (Fd_support.Diag.to_string d);
+    1
+  | Fd_machine.Scheduler.Sim_error e ->
+    Fmt.epr "simulation failed: %s@." (Fd_machine.Scheduler.error_to_string e);
+    1
+
+let ast_cmd =
+  let run file =
+    wrap (fun () ->
+        let cp = Fd_core.Driver.check_source ~file (read_file file) in
+        List.iter
+          (fun cu -> Fmt.pr "%a@." Fd_frontend.Ast_printer.pp_punit cu.Fd_frontend.Sema.unit_)
+          cp.Fd_frontend.Sema.units)
+  in
+  Cmd.v (Cmd.info "ast" ~doc:"Parse, check and print the program")
+    Term.(const run $ file_arg)
+
+let acg_cmd =
+  let run file =
+    wrap (fun () ->
+        let cp = Fd_core.Driver.check_source ~file (read_file file) in
+        let acg = Fd_callgraph.Acg.build cp in
+        Fmt.pr "%a@." Fd_callgraph.Acg.pp acg;
+        Fmt.pr "topological order: %s@."
+          (String.concat " -> " (Fd_callgraph.Acg.topo_order acg)))
+  in
+  Cmd.v (Cmd.info "acg" ~doc:"Print the augmented call graph")
+    Term.(const run $ file_arg)
+
+let spmd_cmd =
+  let run file nprocs strategy remap no_coll =
+    wrap (fun () ->
+        let opts = opts_of nprocs strategy remap no_coll in
+        let compiled = Fd_core.Driver.compile_source ~opts ~file (read_file file) in
+        Fmt.pr "%a@." Fd_machine.Node.pp_program compiled.Fd_core.Codegen.program)
+  in
+  Cmd.v (Cmd.info "spmd" ~doc:"Compile and print the SPMD node program")
+    Term.(const run $ file_arg $ nprocs_arg $ strategy_arg $ remap_arg $ collectives_arg)
+
+let run_cmd =
+  let run file nprocs strategy remap no_coll trace no_agg =
+    wrap (fun () ->
+        let opts = opts_of ~no_agg nprocs strategy remap no_coll in
+        let machine =
+          Fd_machine.Config.make ~nprocs ~record_trace:trace ()
+        in
+        let r = Fd_core.Driver.run_source ~opts ~machine ~file (read_file file) in
+        if trace then
+          List.iter
+            (fun ev -> Fmt.pr "%a@." Fd_machine.Stats.pp_event ev)
+            (Fd_machine.Stats.trace r.Fd_core.Driver.stats);
+        Fmt.pr "%a@." Fd_machine.Stats.pp r.Fd_core.Driver.stats;
+        List.iter (Fmt.pr "output: %s@.")
+          (Fd_machine.Stats.outputs r.Fd_core.Driver.stats);
+        if Fd_core.Driver.verified r then Fmt.pr "verification: OK@."
+        else begin
+          Fmt.pr "verification FAILED (%d mismatches):@."
+            (List.length r.Fd_core.Driver.mismatches);
+          List.iteri
+            (fun i m ->
+              if i < 10 then Fmt.pr "  %a@." Fd_machine.Gather.pp_mismatch m)
+            r.Fd_core.Driver.mismatches
+        end)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Compile, simulate and verify")
+    Term.(const run $ file_arg $ nprocs_arg $ strategy_arg $ remap_arg $ collectives_arg
+          $ trace_arg $ no_agg_arg)
+
+let exports_cmd =
+  let run file nprocs strategy remap no_coll =
+    wrap (fun () ->
+        let opts = opts_of nprocs strategy remap no_coll in
+        let compiled = Fd_core.Driver.compile_source ~opts ~file (read_file file) in
+        let st = compiled.Fd_core.Codegen.state in
+        Hashtbl.iter
+          (fun _name ex -> Fmt.pr "%a@.@." Fd_core.Exports.pp ex)
+          st.Fd_core.Codegen.exports)
+  in
+  Cmd.v
+    (Cmd.info "exports"
+       ~doc:"Print each procedure's export record (constraints, delayed communication, remaps)")
+    Term.(const run $ file_arg $ nprocs_arg $ strategy_arg $ remap_arg $ collectives_arg)
+
+let overlap_cmd =
+  let run file nprocs =
+    wrap (fun () ->
+        let cp = Fd_core.Driver.check_source ~file (read_file file) in
+        let opts = { Fd_core.Options.default with Fd_core.Options.nprocs } in
+        let rows = Fd_core.Overlap.analyze opts cp in
+        List.iter (fun r -> Fmt.pr "%a@." Fd_core.Overlap.pp_row r) rows)
+  in
+  Cmd.v (Cmd.info "overlap" ~doc:"Overlap regions: estimated vs actual")
+    Term.(const run $ file_arg $ nprocs_arg)
+
+let recompile_cmd =
+  let run before after =
+    wrap (fun () ->
+        let procs, total =
+          Fd_core.Recompile.after_edit ~before:(read_file before)
+            ~after:(read_file after) ()
+        in
+        Fmt.pr "recompile %d of %d procedure(s)%s@." (List.length procs) total
+          (if procs = [] then "" else ": " ^ String.concat ", " procs))
+  in
+  let after_arg = Arg.(required & pos 1 (some file) None & info [] ~docv:"AFTER") in
+  Cmd.v
+    (Cmd.info "recompile"
+       ~doc:"Which procedures must recompile going from BEFORE to AFTER")
+    Term.(const run $ file_arg $ after_arg)
+
+let seq_cmd =
+  let run file =
+    wrap (fun () ->
+        let cp = Fd_core.Driver.check_source ~file (read_file file) in
+        let r = Fd_machine.Seq_interp.run cp in
+        List.iter (Fmt.pr "output: %s@.") r.Fd_machine.Seq_interp.outputs;
+        Fmt.pr "flops: %d, memory ops: %d, est. sequential time %.3f ms@."
+          r.Fd_machine.Seq_interp.flops r.Fd_machine.Seq_interp.mem_ops
+          (r.Fd_machine.Seq_interp.seq_time *. 1e3))
+  in
+  Cmd.v (Cmd.info "seq" ~doc:"Run the program sequentially (reference interpreter)")
+    Term.(const run $ file_arg)
+
+let partition_cmd =
+  let run file nprocs strategy remap no_coll =
+    wrap (fun () ->
+        let opts = opts_of nprocs strategy remap no_coll in
+        let compiled = Fd_core.Driver.compile_source ~opts ~file (read_file file) in
+        List.iter
+          (fun (proc, line) -> Fmt.pr "%-12s %s@." proc line)
+          compiled.Fd_core.Codegen.state.Fd_core.Codegen.partition_log)
+  in
+  Cmd.v
+    (Cmd.info "partition"
+       ~doc:"Print each loop's computation-partition decision (per-processor iteration sets)")
+    Term.(const run $ file_arg $ nprocs_arg $ strategy_arg $ remap_arg $ collectives_arg)
+
+let fuzz_cmd =
+  let run cases seed two_d =
+    wrap (fun () ->
+        let st = Random.State.make [| seed |] in
+        let failures = ref 0 in
+        for case = 1 to cases do
+          let src =
+            if two_d then Fd_workloads.Gen.random_source2d st
+            else Fd_workloads.Gen.random_source st
+          in
+          List.iter
+            (fun strategy ->
+              let opts = { Fd_core.Options.default with Fd_core.Options.strategy } in
+              match Fd_core.Driver.run_source ~opts src with
+              | r ->
+                if not (Fd_core.Driver.verified r) then begin
+                  incr failures;
+                  Fmt.pr "case %d MISMATCH under %s:@.%s@." case
+                    (Fd_core.Options.strategy_name strategy)
+                    src
+                end
+              | exception e ->
+                incr failures;
+                Fmt.pr "case %d EXCEPTION (%s) under %s:@.%s@." case
+                  (Printexc.to_string e)
+                  (Fd_core.Options.strategy_name strategy)
+                  src)
+            [ Fd_core.Options.Interproc; Fd_core.Options.Immediate;
+              Fd_core.Options.Runtime_resolution ]
+        done;
+        Fmt.pr "fuzz: %d cases x 3 strategies, %d failures@." cases !failures;
+        if !failures > 0 then exit 1)
+  in
+  let cases_arg =
+    Arg.(value & opt int 50 & info [ "cases" ] ~doc:"Number of generated programs")
+  in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Generator seed") in
+  let two_d_arg = Arg.(value & flag & info [ "2d" ] ~doc:"Generate 2-D programs") in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential fuzzing: random programs, every strategy, verified against sequential execution")
+    Term.(const run $ cases_arg $ seed_arg $ two_d_arg)
+
+let () =
+  let doc = "mini-Fortran D interprocedural compiler and MIMD simulator" in
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "fdc" ~doc)
+          [ ast_cmd; acg_cmd; spmd_cmd; run_cmd; exports_cmd; overlap_cmd;
+            recompile_cmd; seq_cmd; partition_cmd; fuzz_cmd ]))

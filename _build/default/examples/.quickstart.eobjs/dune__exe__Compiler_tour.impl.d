@@ -1,0 +1,1 @@
+examples/compiler_tour.ml: Fd_callgraph Fd_core Fd_machine Fd_support Fd_workloads Fmt List String

@@ -1,0 +1,1 @@
+examples/dgefa_demo.ml: Array Fd_core Fd_machine Fd_workloads Float Fmt List

@@ -1,0 +1,1 @@
+examples/dgefa_demo.mli:

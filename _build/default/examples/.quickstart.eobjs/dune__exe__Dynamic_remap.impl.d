@@ -1,0 +1,1 @@
+examples/dynamic_remap.ml: Fd_core Fd_machine Fd_workloads Fmt List

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fd_core Fd_machine Fd_workloads Fmt List

@@ -1,0 +1,1 @@
+examples/stencil_pipeline.ml: Fd_core Fd_machine Fd_workloads Fmt List

@@ -1,0 +1,30 @@
+(* Jacobi relaxation through procedure boundaries: the sweep procedure
+   inherits the block distribution interprocedurally, and its neighbor
+   communication is exported to (and instantiated in) the caller.
+
+   Compares the three compilation strategies on 1-D and 2-D stencils.
+
+     dune exec examples/stencil_pipeline.exe
+*)
+
+let run name source strategy =
+  let opts = { Fd_core.Options.default with nprocs = 4; strategy } in
+  let r = Fd_core.Driver.run_source ~opts source in
+  let s = r.Fd_core.Driver.stats in
+  Fmt.pr "%-10s %-20s  messages %5d  broadcasts %3d  elapsed %8.3f ms  %s@." name
+    (Fd_core.Options.strategy_name strategy)
+    s.Fd_machine.Stats.messages s.Fd_machine.Stats.bcasts
+    (Fd_machine.Stats.elapsed s *. 1e3)
+    (if Fd_core.Driver.verified r then "verified" else "MISMATCH")
+
+let () =
+  let j1 = Fd_workloads.Stencil.jacobi1d ~n:256 ~t:10 () in
+  let j2 = Fd_workloads.Stencil.jacobi2d ~n:32 ~t:4 () in
+  let rb = Fd_workloads.Stencil.redblack ~n:256 ~t:8 () in
+  List.iter
+    (fun strategy ->
+      run "jacobi1d" j1 strategy;
+      run "jacobi2d" j2 strategy;
+      run "redblack" rb strategy)
+    [ Fd_core.Options.Interproc; Fd_core.Options.Immediate;
+      Fd_core.Options.Runtime_resolution ]

@@ -1,0 +1,1 @@
+lib/analysis/affine.ml: Ast Fd_frontend Fd_support Fmt List Listx Option String Symtab

@@ -1,0 +1,1 @@
+lib/analysis/affine.mli: Fd_frontend Format

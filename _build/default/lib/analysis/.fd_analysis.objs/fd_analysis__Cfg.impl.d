@@ -1,0 +1,1 @@
+lib/analysis/cfg.ml: Array Ast Fd_frontend Fmt Hashtbl List

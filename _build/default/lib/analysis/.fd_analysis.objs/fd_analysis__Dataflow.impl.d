@@ -1,0 +1,1 @@
+lib/analysis/dataflow.ml: Array Cfg Int List Queue Set

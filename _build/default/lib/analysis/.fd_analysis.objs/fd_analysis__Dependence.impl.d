@@ -1,0 +1,1 @@
+lib/analysis/dependence.ml: Affine Array List Sections String

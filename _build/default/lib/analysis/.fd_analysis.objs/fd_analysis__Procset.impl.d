@@ -1,0 +1,1 @@
+lib/analysis/procset.ml: Array Fd_support Fmt Iset List

@@ -1,0 +1,1 @@
+lib/analysis/procset.mli: Fd_support Format Iset

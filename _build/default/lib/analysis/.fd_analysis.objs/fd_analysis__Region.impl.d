@@ -1,0 +1,1 @@
+lib/analysis/region.ml: Array Fd_support Fmt List Listx Triplet

@@ -1,0 +1,1 @@
+lib/analysis/region.mli: Fd_support Format Triplet

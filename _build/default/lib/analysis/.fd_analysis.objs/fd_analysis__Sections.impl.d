@@ -1,0 +1,1 @@
+lib/analysis/sections.ml: Affine Ast Fd_frontend Fd_support Hashtbl List Option Region String Symtab Triplet

@@ -1,0 +1,1 @@
+lib/analysis/sections.mli: Affine Ast Fd_frontend Region Symtab

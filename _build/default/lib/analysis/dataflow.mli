@@ -1,0 +1,58 @@
+(** Generic iterative dataflow over {!Cfg}, worklist-driven.
+
+    Facts form a join-semilattice; [solve] computes the maximal fixed
+    point of a forward or backward problem. *)
+
+type direction = Forward | Backward
+
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+  val join : t -> t -> t
+  val equal : t -> t -> bool
+end
+
+module Make (L : LATTICE) : sig
+  type result = {
+    input : L.t array;
+        (** fact flowing into each node: at node entry for forward
+            problems, at node exit for backward problems *)
+    output : L.t array;
+        (** [transfer] applied to [input] *)
+  }
+
+  val solve :
+    direction:direction ->
+    init:L.t ->
+    transfer:(int -> Cfg.node -> L.t -> L.t) ->
+    Cfg.t ->
+    result
+end
+
+module Int_set : Set.S with type elt = int
+
+module Bitset_lattice : LATTICE with type t = Int_set.t
+
+(** Gen/kill problems over sets of integer ids (definitions, statements,
+    variables...). *)
+module Genkill : sig
+  module Solver : sig
+    type result = { input : Int_set.t array; output : Int_set.t array }
+
+    val solve :
+      direction:direction ->
+      init:Int_set.t ->
+      transfer:(int -> Cfg.node -> Int_set.t -> Int_set.t) ->
+      Cfg.t ->
+      result
+  end
+
+  type spec = {
+    gen : int -> Cfg.node -> Int_set.t;
+    kill : int -> Cfg.node -> Int_set.t;
+  }
+
+  val solve :
+    direction:direction -> init:Int_set.t -> spec -> Cfg.t -> Solver.result
+end

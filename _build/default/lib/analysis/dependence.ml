@@ -1,0 +1,165 @@
+(* Data-dependence testing over affine subscripts (ZIV and strong-SIV
+   tests, with conservative "star" directions elsewhere), specialized to
+   what Fortran D communication analysis needs: the set of common loop
+   levels at which a *true* (flow) dependence from a write to a read may
+   be carried, plus loop-independent dependences.
+
+   Levels are 1-based from the outermost common loop.  The deepest carried
+   level is the message-vectorization level: communication for the read
+   must stay inside that loop; it may be hoisted out of all deeper
+   loops [Hiranandani-Kennedy-Tseng]. *)
+
+type distance =
+  | Dist of int  (* exact dependence distance for a common loop *)
+  | Star         (* unknown / unconstrained *)
+  | No_dep       (* proven independent in some dimension *)
+
+type result = { carried : int list; loop_independent : bool }
+
+let no_dependence = { carried = []; loop_independent = false }
+
+let common_loops (w : Sections.loop_ctx list) (r : Sections.loop_ctx list) :
+    Sections.loop_ctx list =
+  let rec loop acc = function
+    | wc :: wrest, rc :: rrest when wc.Sections.lsid = rc.Sections.lsid ->
+      loop (wc :: acc) (wrest, rrest)
+    | _ -> List.rev acc
+  in
+  loop [] (w, r)
+
+(* Distance in loop variable [v] implied by one subscript dimension:
+   subscript of the write evaluated at iteration [i_w] must equal the
+   subscript of the read at [i_r]; distance = i_r - i_w. *)
+let dim_distance v (sw : Affine.t option) (sr : Affine.t option) : distance =
+  match (sw, sr) with
+  | Some aw, Some ar -> (
+    let cw = Affine.coeff_of v aw and cr = Affine.coeff_of v ar in
+    if cw = 0 && cr = 0 then
+      (* ZIV with respect to this loop; handled by the caller across all
+         loops at once via the pure-constant case *)
+      Star
+    else if cw <> 0 && cw = cr then begin
+      (* strong SIV: cw*i_w + rest_w = cr*i_r + rest_r.  If the residues
+         (terms not in v) are equal as affine forms, distance is exact. *)
+      let rw = Affine.drop_var v aw and rr = Affine.drop_var v ar in
+      if Affine.equal rw rr then Dist 0
+      else
+        match (Affine.const_value (Affine.sub rw rr), cw) with
+        | Some diff, c when diff mod c = 0 -> Dist (diff / c)
+        | Some _, _ -> No_dep  (* non-integer distance *)
+        | None, _ -> Star
+    end
+    else Star)
+  | _ -> Star  (* non-affine subscript *)
+
+(* ZIV test: a dimension where neither subscript mentions any common loop
+   variable proves independence when both are distinct constants. *)
+let ziv_independent (sw : Affine.t option) (sr : Affine.t option) =
+  match (sw, sr) with
+  | Some aw, Some ar -> (
+    match (Affine.const_value aw, Affine.const_value ar) with
+    | Some a, Some b -> a <> b
+    | _ -> false)
+  | _ -> false
+
+let trip_count (ctx : Sections.loop_ctx) : int option =
+  match (ctx.llo, ctx.lhi) with
+  | Some lo, Some hi -> (
+    match (Affine.const_value lo, Affine.const_value hi) with
+    | Some l, Some h -> Some (max 0 (((h - l) / max 1 ctx.lstep) + 1))
+    | _ -> None)
+  | _ -> None
+
+(* True-dependence levels from write [w] to read [r] on the same array.
+   [w] and [r] must refer to the same array; statements are ordered by
+   sid (textual order). *)
+let true_dep (w : Sections.ref_info) (r : Sections.ref_info) : result =
+  assert (String.equal w.Sections.array r.Sections.array);
+  if List.length w.subs <> List.length r.subs then
+    (* reshaping: assume dependence everywhere *)
+    { carried = List.mapi (fun i _ -> i + 1) (common_loops w.loops r.loops);
+      loop_independent = true }
+  else begin
+    let commons = common_loops w.loops r.loops in
+    if List.exists2 (fun sw sr -> ziv_independent sw sr) w.subs r.subs then
+      no_dependence
+    else begin
+      (* Per-common-loop distance: combine over dimensions; conflicting
+         exact distances prove independence. *)
+      let distances =
+        List.map
+          (fun ctx ->
+            let v = ctx.Sections.lvar in
+            List.fold_left2
+              (fun acc sw sr ->
+                match (acc, dim_distance v sw sr) with
+                | No_dep, _ | _, No_dep -> No_dep
+                | Star, d -> d
+                | d, Star -> d
+                | Dist a, Dist b -> if a = b then Dist a else No_dep)
+              Star w.subs r.subs)
+          commons
+      in
+      if List.mem No_dep distances then no_dependence
+      else begin
+        (* Clip exact distances by trip counts. *)
+        let distances =
+          List.map2
+            (fun ctx d ->
+              match d with
+              | Dist k -> (
+                match trip_count ctx with
+                | Some n when abs k >= n -> No_dep
+                | _ -> Dist k)
+              | d -> d)
+            commons distances
+        in
+        if List.mem No_dep distances then no_dependence
+        else begin
+          (* A flow dependence at level L needs distances 0 (or Star) at
+             levels < L and a positive (or Star) distance at L. *)
+          let n = List.length distances in
+          let dist_arr = Array.of_list distances in
+          let carried = ref [] in
+          let prefix_can_be_zero upto =
+            let ok = ref true in
+            for i = 0 to upto - 1 do
+              match dist_arr.(i) with Dist 0 | Star -> () | _ -> ok := false
+            done;
+            !ok
+          in
+          for level = 1 to n do
+            let d = dist_arr.(level - 1) in
+            let positive = match d with Dist k -> k > 0 | Star -> true | No_dep -> false in
+            if positive && prefix_can_be_zero (level - 1) then
+              carried := level :: !carried
+          done;
+          (* Loop-independent: all distances can be zero and the write
+             precedes the read textually. *)
+          let all_zero =
+            Array.for_all (function Dist 0 | Star -> true | _ -> false) dist_arr
+          in
+          let loop_independent = all_zero && w.sid <= r.sid in
+          { carried = List.rev !carried; loop_independent }
+        end
+      end
+    end
+  end
+
+(* Deepest level at which any true dependence onto [read] is carried by a
+   loop enclosing the read, considering all writes in [refs] to the same
+   array.  [None] = no loop-carried true dependence: communication can be
+   vectorized out of the read's whole loop nest. *)
+let deepest_true_dep_level (refs : Sections.ref_info list)
+    (read : Sections.ref_info) : int option =
+  List.fold_left
+    (fun acc w ->
+      if w.Sections.is_write && String.equal w.Sections.array read.Sections.array
+      then begin
+        let { carried; _ } = true_dep w read in
+        List.fold_left
+          (fun acc l -> match acc with Some m when m >= l -> acc | _ -> Some l)
+          acc carried
+      end
+      else acc)
+    None refs

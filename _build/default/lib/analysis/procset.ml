@@ -1,0 +1,50 @@
+(* Per-processor integer sets: the concrete representation of data
+   partitions (local index sets) and computation partitions (local
+   iteration sets), indexed by logical processor number 0..P-1. *)
+
+open Fd_support
+
+type t = Iset.t array
+
+let make p f : t = Array.init p f
+
+let nprocs (t : t) = Array.length t
+
+let uniform p s : t = Array.make p s
+
+let empty p : t = Array.make p Iset.empty
+
+let get (t : t) p = t.(p)
+
+let map f (t : t) : t = Array.map f t
+
+let map2 f (a : t) (b : t) : t =
+  if Array.length a <> Array.length b then invalid_arg "Procset.map2";
+  Array.init (Array.length a) (fun p -> f a.(p) b.(p))
+
+let union = map2 Iset.union
+let inter = map2 Iset.inter
+let diff = map2 Iset.diff
+
+let equal (a : t) (b : t) =
+  Array.length a = Array.length b && Array.for_all2 Iset.equal a b
+
+let is_empty (t : t) = Array.for_all Iset.is_empty t
+
+let total_count (t : t) = Array.fold_left (fun acc s -> acc + Iset.count s) 0 t
+
+let shift d = map (Iset.shift d)
+
+(* All processors owning element [x]. *)
+let owners x (t : t) =
+  let acc = ref [] in
+  Array.iteri (fun p s -> if Iset.mem x s then acc := p :: !acc) t;
+  List.rev !acc
+
+(* The union over processors (e.g. the global index set). *)
+let flatten (t : t) = Array.fold_left Iset.union Iset.empty t
+
+let pp ppf (t : t) =
+  Array.iteri (fun p s -> Fmt.pf ppf "p%d:%a " p Iset.pp s) t
+
+let to_string t = Fmt.str "%a" pp t

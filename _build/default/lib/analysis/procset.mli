@@ -1,0 +1,33 @@
+(** Per-processor integer sets: the concrete representation of data
+    partitions (local index sets) and computation partitions (local
+    iteration sets), indexed by logical processor number [0..P-1]. *)
+
+open Fd_support
+
+type t = Iset.t array
+
+val make : int -> (int -> Iset.t) -> t
+val nprocs : t -> int
+val uniform : int -> Iset.t -> t
+val empty : int -> t
+val get : t -> int -> Iset.t
+
+val map : (Iset.t -> Iset.t) -> t -> t
+val map2 : (Iset.t -> Iset.t -> Iset.t) -> t -> t -> t
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+
+val equal : t -> t -> bool
+val is_empty : t -> bool
+val total_count : t -> int
+val shift : int -> t -> t
+
+val owners : int -> t -> int list
+(** Processors whose set contains the element. *)
+
+val flatten : t -> Iset.t
+(** Union over all processors. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,174 @@
+(* Regular section descriptors.
+
+   A [box] is one RSD in the paper's sense: a triplet per array dimension.
+   A [t] (region) is a finite union of boxes of equal rank.  Intersection
+   and difference are exact (difference uses the standard slab
+   decomposition); union is represented structurally, with overlapping
+   boxes tolerated (operations account for multiplicity-free semantics
+   through [normalize] where it matters). *)
+
+open Fd_support
+
+type box = Triplet.t array
+
+type t = { rank : int; boxes : box list }
+
+let box_is_empty b = Array.exists Triplet.is_empty b
+
+let empty rank = { rank; boxes = [] }
+
+let of_box b =
+  if box_is_empty b then { rank = Array.length b; boxes = [] }
+  else { rank = Array.length b; boxes = [ b ] }
+
+let of_triplets ts = of_box (Array.of_list ts)
+
+let of_boxes rank boxes =
+  { rank; boxes = List.filter (fun b -> not (box_is_empty b)) boxes }
+
+let is_empty r = r.boxes = []
+
+let rank r = r.rank
+
+let boxes r = r.boxes
+
+let check_rank a b =
+  if a.rank <> b.rank then invalid_arg "Region: rank mismatch"
+
+let box_inter (a : box) (b : box) : box =
+  Array.init (Array.length a) (fun i -> Triplet.inter a.(i) b.(i))
+
+let box_count (b : box) =
+  Array.fold_left (fun acc t -> acc * Triplet.count t) 1 b
+
+let box_mem idx (b : box) =
+  Array.length idx = Array.length b
+  && Array.for_all2 (fun x t -> Triplet.mem x t) idx b
+
+let mem idx r = List.exists (box_mem idx) r.boxes
+
+(* Exact box difference by slab decomposition.  Relies on Triplet.diff
+   being exact (sound over-approximation otherwise, which is safe for the
+   "communicate everything we might not own" direction). *)
+let box_diff (a : box) (b : box) : box list =
+  let core = box_inter a b in
+  if box_is_empty core then [ a ]
+  else begin
+    let result = ref [] in
+    let current = Array.copy a in
+    Array.iteri
+      (fun d _ ->
+        let outside = Triplet.diff current.(d) b.(d) in
+        List.iter
+          (fun t ->
+            let slab = Array.copy current in
+            slab.(d) <- t;
+            if not (box_is_empty slab) then result := slab :: !result)
+          outside;
+        current.(d) <- Triplet.inter current.(d) b.(d))
+      a;
+    List.rev !result
+  end
+
+let inter a b =
+  check_rank a b;
+  of_boxes a.rank
+    (List.concat_map (fun ba -> List.map (box_inter ba) b.boxes) a.boxes)
+
+let diff a b =
+  check_rank a b;
+  let remove_box boxes bb = List.concat_map (fun ba -> box_diff ba bb) boxes in
+  of_boxes a.rank (List.fold_left remove_box a.boxes b.boxes)
+
+let union a b =
+  check_rank a b;
+  (* keep disjointness so that [count] is exact: add b's boxes minus a *)
+  let extra = (diff b a).boxes in
+  { rank = a.rank; boxes = a.boxes @ extra }
+
+let count r = Listx.sum (List.map box_count r.boxes)
+
+let equal a b = is_empty (diff a b) && is_empty (diff b a)
+
+let subset a b = is_empty (diff a b)
+
+let disjoint a b = is_empty (inter a b)
+
+(* Merge boxes that are identical in all dimensions but one, where the
+   remaining triplets are adjacent or overlapping with equal step: this is
+   the paper's "merge RSDs if no precision is lost". *)
+let simplify r =
+  let try_merge (a : box) (b : box) : box option =
+    let n = Array.length a in
+    let differing = ref [] in
+    for d = 0 to n - 1 do
+      if not (Triplet.equal a.(d) b.(d)) then differing := d :: !differing
+    done;
+    match !differing with
+    | [] -> Some a
+    | [ d ] ->
+      let ta = a.(d) and tb = b.(d) in
+      if Triplet.is_empty ta then Some b
+      else if Triplet.is_empty tb then Some a
+      else if
+        Triplet.step ta = Triplet.step tb
+        && Triplet.step ta = 1
+        && Triplet.lo tb <= Triplet.hi ta + 1
+        && Triplet.lo ta <= Triplet.hi tb + 1
+      then begin
+        let merged = Array.copy a in
+        merged.(d) <-
+          Triplet.make
+            ~lo:(min (Triplet.lo ta) (Triplet.lo tb))
+            ~hi:(max (Triplet.hi ta) (Triplet.hi tb))
+            ~step:1;
+        Some merged
+      end
+      else None
+    | _ -> None
+  in
+  let rec pass boxes =
+    let rec insert b = function
+      | [] -> ([ b ], false)
+      | b' :: rest -> (
+        match try_merge b b' with
+        | Some m -> (m :: rest, true)
+        | None ->
+          let rest', changed = insert b rest in
+          (b' :: rest', changed))
+    in
+    match boxes with
+    | [] -> []
+    | b :: rest ->
+      let rest', changed = insert b rest in
+      if changed then pass rest' else b :: pass rest
+  in
+  { r with boxes = pass r.boxes }
+
+let hull r =
+  match r.boxes with
+  | [] -> None
+  | b0 :: rest ->
+    Some
+      (List.fold_left
+         (fun acc b ->
+           Array.mapi
+             (fun d t ->
+               Triplet.make
+                 ~lo:(min (Triplet.lo acc.(d)) (Triplet.lo t))
+                 ~hi:(max (Triplet.hi acc.(d)) (Triplet.hi t))
+                 ~step:1)
+             b)
+         (Array.map (fun t -> Triplet.make ~lo:(Triplet.lo t) ~hi:(Triplet.hi t) ~step:1) b0)
+         rest)
+
+let map_dims f r = { r with boxes = List.map f r.boxes }
+
+let pp_box ppf (b : box) =
+  Fmt.pf ppf "(%a)" Fmt.(array ~sep:(any ",") Triplet.pp) b
+
+let pp ppf r =
+  if is_empty r then Fmt.string ppf "{}"
+  else Fmt.pf ppf "%a" Fmt.(list ~sep:(any " u ") pp_box) r.boxes
+
+let to_string r = Fmt.str "%a" pp r

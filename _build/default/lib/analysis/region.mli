@@ -1,0 +1,53 @@
+(** Regular section descriptors.
+
+    A [box] is one RSD in the paper's sense: a triplet per array
+    dimension.  A region is a finite union of boxes of equal rank.
+    Intersection and difference are exact (difference uses slab
+    decomposition); [union] keeps boxes disjoint so that [count] is
+    exact. *)
+
+open Fd_support
+
+type box = Triplet.t array
+
+type t
+
+val empty : int -> t
+(** [empty rank] *)
+
+val of_box : box -> t
+val of_triplets : Triplet.t list -> t
+val of_boxes : int -> box list -> t
+
+val is_empty : t -> bool
+val rank : t -> int
+val boxes : t -> box list
+
+val box_is_empty : box -> bool
+val box_inter : box -> box -> box
+val box_diff : box -> box -> box list
+(** Exact slab decomposition of [a \ b]. *)
+
+val mem : int array -> t -> bool
+val count : t -> int
+
+val inter : t -> t -> t
+val diff : t -> t -> t
+val union : t -> t -> t
+
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+val disjoint : t -> t -> bool
+
+val simplify : t -> t
+(** Merge boxes differing in one dimension when no precision is lost
+    (the paper's RSD merging rule). *)
+
+val hull : t -> box option
+(** Smallest single box containing the region. *)
+
+val map_dims : (box -> box) -> t -> t
+
+val pp_box : Format.formatter -> box -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/callgraph/acg.ml: Affine Ast Diag Fd_analysis Fd_frontend Fd_support Fmt Hashtbl List Listx Loc Option Sections Sema String Symtab

@@ -1,0 +1,1 @@
+lib/callgraph/acg.mli: Ast Fd_analysis Fd_frontend Fd_support Format Hashtbl Sections Sema

@@ -1,0 +1,1 @@
+lib/callgraph/local_summary.ml: Ast Ast_printer Digest Fd_frontend Fmt List Printf Sema Side_effects String Symtab

@@ -1,0 +1,1 @@
+lib/callgraph/local_summary.mli: Fd_frontend Format Sema Side_effects

@@ -1,0 +1,1 @@
+lib/callgraph/side_effects.ml: Acg Ast Fd_frontend Hashtbl List Option Sema Set String Symtab

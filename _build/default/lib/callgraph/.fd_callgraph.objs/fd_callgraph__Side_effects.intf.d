@@ -1,0 +1,1 @@
+lib/callgraph/side_effects.mli: Acg Fd_frontend Hashtbl Sema Set

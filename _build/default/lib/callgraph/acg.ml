@@ -1,0 +1,165 @@
+(* The augmented call graph (ACG) of Hall-Kennedy: a call graph whose
+   nodes also carry interprocedural loop context — for every call site we
+   record the stack of enclosing loops (bounds, step, index variable) so
+   analyses can reason about loops that enclose a procedure from outside
+   (paper Section 5.1, Figure 5). *)
+
+open Fd_support
+open Fd_frontend
+open Fd_analysis
+
+type call_site = {
+  cs_sid : int;  (* statement id of the CALL in the caller *)
+  caller : string;
+  callee : string;
+  actuals : Ast.expr list;
+  cs_loops : Sections.loop_ctx list;  (* enclosing loops, outermost first *)
+  cs_loc : Loc.t;
+}
+
+type proc = {
+  pname : string;
+  cu : Sema.checked_unit;
+  calls : call_site list;  (* in textual order *)
+}
+
+type t = {
+  procs : proc list;  (* in source order *)
+  main : string;
+  by_name : (string, proc) Hashtbl.t;
+}
+
+let collect_calls (cu : Sema.checked_unit) : call_site list =
+  let u = cu.Sema.unit_ in
+  let symtab = cu.Sema.symtab in
+  let out = ref [] in
+  let rec walk loops (s : Ast.stmt) =
+    match s.Ast.kind with
+    | Ast.Call (callee, actuals) ->
+      out :=
+        { cs_sid = s.Ast.sid;
+          caller = u.Ast.uname;
+          callee;
+          actuals;
+          cs_loops = List.rev loops;
+          cs_loc = s.Ast.loc }
+        :: !out
+    | Ast.Do d ->
+      let step =
+        match d.step with
+        | Some e -> (
+          match Option.bind (Affine.of_expr symtab e) Affine.const_value with
+          | Some k -> k
+          | None -> 1)
+        | None -> 1
+      in
+      let ctx =
+        { Sections.lvar = d.var;
+          llo = Affine.of_expr symtab d.lo;
+          lhi = Affine.of_expr symtab d.hi;
+          lstep = step;
+          lsid = s.Ast.sid }
+      in
+      List.iter (walk (ctx :: loops)) d.body
+    | Ast.If i ->
+      List.iter (walk loops) i.then_;
+      List.iter (walk loops) i.else_
+    | Ast.Assign _ | Ast.Align _ | Ast.Distribute _ | Ast.Return | Ast.Print _ -> ()
+  in
+  List.iter (walk []) u.Ast.body;
+  List.rev !out
+
+let build (cp : Sema.checked_program) : t =
+  let procs =
+    List.map
+      (fun cu -> { pname = cu.Sema.unit_.Ast.uname; cu; calls = collect_calls cu })
+      cp.Sema.units
+  in
+  let by_name = Hashtbl.create 16 in
+  List.iter (fun p -> Hashtbl.replace by_name p.pname p) procs;
+  { procs; main = cp.Sema.main; by_name }
+
+let proc t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some p -> p
+  | None -> Diag.error "no procedure named %s in call graph" name
+
+let procs t = t.procs
+
+let callees_of t name =
+  (proc t name).calls |> List.map (fun cs -> cs.callee) |> Listx.dedup ~equal:String.equal
+
+let call_sites_from t name = (proc t name).calls
+
+let call_sites_to t name =
+  List.concat_map (fun p -> List.filter (fun cs -> String.equal cs.callee name) p.calls) t.procs
+
+let callers_of t name =
+  call_sites_to t name |> List.map (fun cs -> cs.caller) |> Listx.dedup ~equal:String.equal
+
+(* Topological order (callers before callees).  Raises on recursion: the
+   paper's single-pass scheme applies to programs without recursion. *)
+exception Recursive of string
+
+let topo_order t : string list =
+  let visited = Hashtbl.create 16 in (* name -> [`In_progress | `Done] *)
+  let order = ref [] in
+  let rec visit name =
+    match Hashtbl.find_opt visited name with
+    | Some `Done -> ()
+    | Some `In_progress -> raise (Recursive name)
+    | None ->
+      Hashtbl.replace visited name `In_progress;
+      List.iter visit (callees_of t name);
+      Hashtbl.replace visited name `Done;
+      order := name :: !order
+  in
+  (* Visit from main first, then any unreachable procedures.  DFS
+     postorder prepends each procedure after its callees, so [!order]
+     already lists callers before callees. *)
+  visit t.main;
+  List.iter (fun p -> visit p.pname) t.procs;
+  !order
+
+let reverse_topo_order t = List.rev (topo_order t)
+
+let is_recursive t =
+  match topo_order t with _ -> false | exception Recursive _ -> true
+
+(* Formal/actual binding for a call site. *)
+let bindings t (cs : call_site) : (string * Ast.expr) list =
+  let callee = proc t cs.callee in
+  let formals = callee.cu.Sema.unit_.Ast.formals in
+  if List.length formals <> List.length cs.actuals then
+    Diag.error ~loc:cs.cs_loc "arity mismatch calling %s" cs.callee;
+  List.combine formals cs.actuals
+
+(* For a whole-array actual, the caller-side array name bound to a formal
+   array; [None] for scalar/expression actuals. *)
+let actual_array_of_formal t (cs : call_site) (formal : string) : string option =
+  match List.assoc_opt formal (bindings t cs) with
+  | Some (Ast.Var v) ->
+    let caller = proc t cs.caller in
+    if Symtab.is_array caller.cu.Sema.symtab v then Some v else None
+  | _ -> None
+
+(* Reverse map: formal name bound to a given caller-side array. *)
+let formal_of_actual_array t (cs : call_site) (array : string) : string option =
+  List.find_map
+    (fun (f, a) ->
+      match a with Ast.Var v when String.equal v array -> Some f | _ -> None)
+    (bindings t cs)
+
+let pp ppf t =
+  List.iter
+    (fun p ->
+      Fmt.pf ppf "%s:@." p.pname;
+      List.iter
+        (fun cs ->
+          let loop_str =
+            String.concat ">" (List.map (fun l -> l.Sections.lvar) cs.cs_loops)
+          in
+          Fmt.pf ppf "  s%d: call %s%s@." cs.cs_sid cs.callee
+            (if loop_str = "" then "" else " [loops " ^ loop_str ^ "]"))
+        p.calls)
+    t.procs

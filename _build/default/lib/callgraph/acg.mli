@@ -1,0 +1,62 @@
+(** The augmented call graph (ACG) of Hall-Kennedy: a call graph whose
+    nodes also carry interprocedural loop context — every call site
+    records the stack of enclosing loops (bounds, step, index variable)
+    so analyses can reason about loops that enclose a procedure from
+    outside (paper Section 5.1, Figure 5). *)
+
+open Fd_frontend
+open Fd_analysis
+
+type call_site = {
+  cs_sid : int;  (** statement id of the CALL in the caller *)
+  caller : string;
+  callee : string;
+  actuals : Ast.expr list;
+  cs_loops : Sections.loop_ctx list;  (** enclosing loops, outermost first *)
+  cs_loc : Fd_support.Loc.t;
+}
+
+type proc = {
+  pname : string;
+  cu : Sema.checked_unit;
+  calls : call_site list;  (** in textual order *)
+}
+
+type t = {
+  procs : proc list;  (** in source order *)
+  main : string;
+  by_name : (string, proc) Hashtbl.t;
+}
+
+val build : Sema.checked_program -> t
+
+val proc : t -> string -> proc
+(** @raise Fd_support.Diag.Compile_error on unknown names. *)
+
+val procs : t -> proc list
+val callees_of : t -> string -> string list
+val call_sites_from : t -> string -> call_site list
+val call_sites_to : t -> string -> call_site list
+val callers_of : t -> string -> string list
+
+exception Recursive of string
+
+val topo_order : t -> string list
+(** Callers before callees (main first).
+    @raise Recursive on recursive programs. *)
+
+val reverse_topo_order : t -> string list
+(** Callees before callers — the compilation order. *)
+
+val is_recursive : t -> bool
+
+val bindings : t -> call_site -> (string * Ast.expr) list
+(** Formal/actual pairs of one call site. *)
+
+val actual_array_of_formal : t -> call_site -> string -> string option
+(** Caller-side array bound (whole) to a formal; [None] for scalars and
+    expressions. *)
+
+val formal_of_actual_array : t -> call_site -> string -> string option
+
+val pp : Format.formatter -> t -> unit

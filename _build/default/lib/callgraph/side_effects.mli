@@ -1,0 +1,23 @@
+(** Interprocedural scalar/array side effects: Gmod(P) and Gref(P), the
+    variables modified / referenced by P or its descendants, expressed in
+    P's visible names.  Appear(P) = Gmod u Gref drives procedure cloning
+    (paper Section 5.2, Figure 8). *)
+
+open Fd_frontend
+
+module S : Set.S with type elt = string
+
+type summary = { gmod : S.t; gref : S.t }
+
+type t = (string, summary) Hashtbl.t
+
+val local_effects : Sema.checked_unit -> summary
+(** Intra-procedural effects only (call sites contribute nothing). *)
+
+val compute : Acg.t -> t
+(** Bottom-up propagation over the call graph; callee effects translate
+    through formal/actual bindings (callee locals drop). *)
+
+val gmod : t -> string -> S.t
+val gref : t -> string -> S.t
+val appear : t -> string -> S.t

@@ -1,0 +1,1 @@
+lib/core/aliasing.ml: Acg Ast Diag Fd_callgraph Fd_frontend Fd_support Hashtbl List Listx Loc Sema Set Side_effects String Symtab

@@ -1,0 +1,1 @@
+lib/core/aliasing.mli: Acg Fd_callgraph Fd_support Side_effects

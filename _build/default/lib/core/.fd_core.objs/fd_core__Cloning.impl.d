@@ -1,0 +1,1 @@
+lib/core/cloning.ml: Acg Ast Ast_printer Decomp Diag Fd_callgraph Fd_frontend Fd_support Fmt List Listx Map Options Reaching_decomps Sema Set Side_effects String Symtab

@@ -1,0 +1,1 @@
+lib/core/cloning.mli: Fd_frontend Map Options Sema String

@@ -1,0 +1,1 @@
+lib/core/codegen.mli: Acg Cloning Dynamic_decomp Exports Fd_callgraph Fd_frontend Fd_machine Hashtbl Node Options Reaching_decomps Sema Side_effects

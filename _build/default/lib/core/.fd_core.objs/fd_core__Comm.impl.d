@@ -1,0 +1,1 @@
+lib/core/comm.ml: Array Ast Diag Fd_frontend Fd_machine Fd_support Fit Iset Layout List Node Triplet

@@ -1,0 +1,1 @@
+lib/core/comm.mli: Ast Fd_frontend Fd_machine Fd_support Iset Layout Node

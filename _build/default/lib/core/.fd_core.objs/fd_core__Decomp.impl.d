@@ -1,0 +1,1 @@
+lib/core/decomp.ml: Array Ast Diag Fd_frontend Fd_machine Fd_support Fmt List Set Stdlib String

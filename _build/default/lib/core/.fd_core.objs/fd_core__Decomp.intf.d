@@ -1,0 +1,1 @@
+lib/core/decomp.mli: Ast Fd_frontend Fd_machine Format Set

@@ -1,0 +1,1 @@
+lib/core/driver.ml: Codegen Config Fd_frontend Fd_machine Gather Options Scheduler Sema Seq_interp Stats

@@ -1,0 +1,1 @@
+lib/core/driver.mli: Codegen Config Fd_frontend Fd_machine Gather Options Sema Seq_interp Stats

@@ -1,0 +1,1 @@
+lib/core/dynamic_decomp.ml: Affine Array Ast Cfg Dataflow Decomp Diag Fd_analysis Fd_frontend Fd_support List Loc Map Option Options Region Sections Set String Symtab Triplet

@@ -1,0 +1,1 @@
+lib/core/dynamic_decomp.mli: Ast Decomp Fd_frontend Map Options Set String Symtab

@@ -1,0 +1,1 @@
+lib/core/exports.ml: Affine Decomp Fd_analysis Fd_support Fmt Iset List Set String

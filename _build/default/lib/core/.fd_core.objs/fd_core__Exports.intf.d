@@ -1,0 +1,1 @@
+lib/core/exports.mli: Affine Decomp Fd_analysis Fd_support Format Iset Set

@@ -1,0 +1,1 @@
+lib/core/fit.ml: Array Ast Fd_frontend Fd_support Fun Iset List Listx Triplet

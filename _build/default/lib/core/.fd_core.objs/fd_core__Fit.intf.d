@@ -1,0 +1,1 @@
+lib/core/fit.mli: Ast Fd_frontend Fd_support Iset

@@ -1,0 +1,1 @@
+lib/core/overlap.ml: Acg Affine Ast Decomp Fd_analysis Fd_callgraph Fd_frontend Fmt List Map Option Options Reaching_decomps Sections Sema String

@@ -1,0 +1,1 @@
+lib/core/overlap.mli: Fd_frontend Format Map Options Sema String

@@ -1,0 +1,1 @@
+lib/core/reaching_decomps.ml: Acg Array Ast Cfg Dataflow Decomp Diag Fd_analysis Fd_callgraph Fd_frontend Fd_support Fmt Hashtbl List Map Sema String Symtab

@@ -1,0 +1,1 @@
+lib/core/reaching_decomps.mli: Acg Ast Decomp Fd_callgraph Fd_frontend Format Map Sema String

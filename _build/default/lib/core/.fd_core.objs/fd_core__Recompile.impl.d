@@ -1,0 +1,1 @@
+lib/core/recompile.ml: Acg Cloning Codegen Digest Exports Fd_callgraph Fd_frontend Fmt Hashtbl List Local_summary Map Options Reaching_decomps Sema Set String

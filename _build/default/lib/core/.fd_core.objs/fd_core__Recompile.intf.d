@@ -1,0 +1,1 @@
+lib/core/recompile.mli: Fd_frontend Map Options Sema String

@@ -1,0 +1,1 @@
+lib/core/runtime_res.ml: Ast Fd_frontend Fd_machine Fit List Node Symtab

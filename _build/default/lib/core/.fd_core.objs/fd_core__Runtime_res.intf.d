@@ -1,0 +1,1 @@
+lib/core/runtime_res.mli: Ast Fd_frontend Fd_machine Node Symtab

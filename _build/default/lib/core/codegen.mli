@@ -1,0 +1,46 @@
+(** Interprocedural code generation (paper Section 5, Figures 9/11/13/17).
+
+    Procedures are compiled exactly once, in reverse topological order
+    over the augmented call graph.  Each compilation consumes the exports
+    of its callees (computation-partition constraints, delayed
+    communication, delayed remapping) and produces its own export record
+    for callers.  The [Interproc] and [Immediate] strategies share this
+    module; statements outside the recognized patterns fall back to
+    run-time resolution locally, which is always sound. *)
+
+open Fd_frontend
+open Fd_callgraph
+open Fd_machine
+
+type state = {
+  opts : Options.t;
+  acg : Acg.t;
+  rd : Reaching_decomps.t;
+  effects : Side_effects.t;
+  mutable counter : int;  (** fresh communication tags / sites *)
+  exports : (string, Exports.t) Hashtbl.t;
+  mutable remap_stats : (string * Dynamic_decomp.opt_stats) list;
+  mutable partition_log : (string * string) list;
+      (** (procedure, loop-partition decision), in compilation order *)
+}
+
+val export_of : state -> string -> Exports.t
+
+val compile_proc : state -> Sema.checked_unit -> Node.nproc
+(** One procedure under [Interproc]/[Immediate]; records its export. *)
+
+val compile_proc_runtime_res : state -> Sema.checked_unit -> Node.nproc
+
+type compiled = {
+  program : Node.program;
+  cloned : Sema.checked_program;  (** the program after cloning *)
+  clone_result : Cloning.result;
+  state : state;
+}
+
+val compile : Options.t -> Sema.checked_program -> compiled
+(** Whole-program compilation: cloning (for the optimizing strategies),
+    analyses, aliasing check, then one pass per procedure in reverse
+    topological order.
+    @raise Fd_support.Diag.Compile_error on recursion, forbidden
+    aliasing, or uninstantiable computation partitions. *)

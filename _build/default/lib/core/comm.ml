@@ -1,0 +1,268 @@
+(* Communication generation: turn concrete per-processor need sets into
+   guarded send/recv statements (with closed-form sections where an affine
+   form in my$p exists) and one-owner/all-consumer sections into
+   broadcasts.  This implements instantiation of the RSDs the analysis
+   phases delay and propagate (paper Sections 5.4, Figure 11). *)
+
+open Fd_support
+open Fd_frontend
+open Fd_machine
+
+let int_e n = Ast.Int_const n
+let myp = Fit.myp
+
+type other_dim =
+  | Od_point of Ast.expr             (* single index expression *)
+  | Od_range of Ast.expr * Ast.expr  (* contiguous index range *)
+  | Od_full of int * int             (* whole declared extent *)
+
+let other_dim_section = function
+  | Od_point e -> (e, e, int_e 1)
+  | Od_range (lo, hi) -> (lo, hi, int_e 1)
+  | Od_full (lo, hi) -> (int_e lo, int_e hi, int_e 1)
+
+(* Assemble a full section: [other_dims] lists the non-distributed
+   dimensions in order; the distributed dimension's triplet is inserted at
+   position [dim]. *)
+let assemble_section ~rank ~dim dist_triplet (other_dims : other_dim list) :
+    Node.section =
+  if List.length other_dims <> rank - 1 then
+    Diag.error "communication section rank mismatch";
+  let rec build d others =
+    if d >= rank then []
+    else if d = dim then dist_triplet :: build (d + 1) others
+    else
+      match others with
+      | o :: rest -> other_dim_section o :: build (d + 1) rest
+      | [] -> assert false
+  in
+  build 0 other_dims
+
+let guarded guard stmts =
+  match (guard, stmts) with
+  | _, [] -> []
+  | None, _ -> stmts
+  | Some (Ast.Logical_const false), _ -> []
+  | Some g, _ -> [ Node.N_if { cond = g; then_ = stmts; else_ = [] } ]
+
+let elements_of_other_dim = function
+  | Od_point _ -> 1
+  | Od_range _ -> -1 (* unknown statically; not needed *)
+  | Od_full (lo, hi) -> hi - lo + 1
+
+let _ = elements_of_other_dim
+
+(* Emit the guarded send/recv statements realizing point-to-point section
+   transfers: for each part (array, need, other_dims), processor p must
+   come to hold need(p); owned(q) says who holds what.  Several parts
+   aggregate into one message per processor pair (paper Fig. 11).
+   Senders are emitted before receivers (sends are asynchronous), grouped
+   by sender-receiver offset so the common shift patterns compile to one
+   guarded statement each. *)
+let emit_section_comm_multi ~nprocs ~tag ~(owned : Iset.t array) ~dim ~rank
+    ~(parts : (string * Iset.t array * other_dim list) list) : Node.nstmt list =
+  (* per-part transfer matrices *)
+  let xfers =
+    List.map
+      (fun (array, need, other_dims) ->
+        let xfer = Array.make_matrix nprocs nprocs Iset.empty in
+        for p = 0 to nprocs - 1 do
+          let nonlocal = Iset.diff need.(p) owned.(p) in
+          if not (Iset.is_empty nonlocal) then
+            for q = 0 to nprocs - 1 do
+              if q <> p then begin
+                let s = Iset.inter nonlocal owned.(q) in
+                if not (Iset.is_empty s) then xfer.(q).(p) <- s
+              end
+            done
+        done;
+        (array, xfer, other_dims))
+      parts
+  in
+  let pair_nonempty q p =
+    List.exists (fun (_, xfer, _) -> not (Iset.is_empty xfer.(q).(p))) xfers
+  in
+  let any = ref false in
+  for q = 0 to nprocs - 1 do
+    for p = 0 to nprocs - 1 do
+      if pair_nonempty q p then any := true
+    done
+  done;
+  if not !any then []
+  else begin
+    (* offset classes present *)
+    let deltas = ref [] in
+    for q = 0 to nprocs - 1 do
+      for p = 0 to nprocs - 1 do
+        if pair_nonempty q p && not (List.mem (q - p) !deltas) then
+          deltas := (q - p) :: !deltas
+      done
+    done;
+    let deltas = List.sort compare !deltas in
+    let sends = ref [] and recvs = ref [] in
+    let emit_fallback_pair q p =
+      (* one concrete message for the pair, all parts inline *)
+      let msg_parts =
+        List.concat_map
+          (fun (array, xfer, other_dims) ->
+            List.map
+              (fun t ->
+                ( array,
+                  assemble_section ~rank ~dim
+                    (int_e (Triplet.lo t), int_e (Triplet.hi t),
+                     int_e (Triplet.step t))
+                    other_dims ))
+              (Iset.triplets xfer.(q).(p)))
+          xfers
+      in
+      if msg_parts <> [] then begin
+        sends :=
+          guarded
+            (Some (Ast.Bin (Ast.Eq, myp, int_e q)))
+            [ Node.N_send { dest = int_e p; parts = msg_parts; tag } ]
+          @ !sends;
+        recvs :=
+          guarded
+            (Some (Ast.Bin (Ast.Eq, myp, int_e p)))
+            [ Node.N_recv { src = int_e q; tag } ]
+          @ !recvs
+      end
+    in
+    List.iter
+      (fun delta ->
+        (* sender q transfers to q - delta; fit each part's section *)
+        let fitted =
+          List.map
+            (fun (array, xfer, other_dims) ->
+              let send_sets =
+                Array.init nprocs (fun q ->
+                    let p = q - delta in
+                    if p >= 0 && p < nprocs then xfer.(q).(p) else Iset.empty)
+              in
+              (array, send_sets, other_dims, Fit.fit_procset_opt send_sets))
+            xfers
+        in
+        let all_fit =
+          List.for_all (fun (_, sets, _, f) ->
+              f <> None || Array.for_all Iset.is_empty sets)
+            fitted
+        in
+        if all_fit then begin
+          (* the message exists on processors where any part is nonempty *)
+          let send_mask =
+            Array.init nprocs (fun q ->
+                let p = q - delta in
+                p >= 0 && p < nprocs && pair_nonempty q p)
+          in
+          let msg_parts =
+            List.filter_map
+              (fun (array, sets, other_dims, f) ->
+                match f with
+                | None -> None
+                | Some { Fit.f_lo; f_hi; f_step; f_guard = _ } ->
+                  (* empty processors inside the send mask rely on the
+                     fitted lo > hi junk to contribute no elements; verify
+                     that holds, else fall back *)
+                  let ok = ref true in
+                  Array.iteri
+                    (fun q m ->
+                      if m && Iset.is_empty sets.(q) then
+                        (* the fit was built with lo=1 > hi=0 junk on empty
+                           processors only when the guard was dropped; with
+                           a guard we cannot inline this part *)
+                        ok := false)
+                    send_mask;
+                  if !ok then
+                    Some (array, assemble_section ~rank ~dim (f_lo, f_hi, f_step) other_dims)
+                  else None)
+              fitted
+          in
+          let complete =
+            List.length msg_parts
+            = List.length
+                (List.filter
+                   (fun (_, sets, _, _) -> not (Array.for_all Iset.is_empty sets))
+                   fitted)
+          in
+          if complete && msg_parts <> [] then begin
+            let dest =
+              if delta > 0 then Ast.Bin (Ast.Sub, myp, int_e delta)
+              else Ast.Bin (Ast.Add, myp, int_e (-delta))
+            in
+            sends :=
+              !sends
+              @ guarded (Fit.guard_of_mask send_mask)
+                  [ Node.N_send { dest; parts = msg_parts; tag } ];
+            let recv_mask =
+              Array.init nprocs (fun p ->
+                  let q = p + delta in
+                  q >= 0 && q < nprocs && pair_nonempty q p)
+            in
+            let src =
+              if delta > 0 then Ast.Bin (Ast.Add, myp, int_e delta)
+              else Ast.Bin (Ast.Sub, myp, int_e (-delta))
+            in
+            recvs :=
+              !recvs
+              @ guarded (Fit.guard_of_mask recv_mask) [ Node.N_recv { src; tag } ]
+          end
+          else
+            for q = 0 to nprocs - 1 do
+              let p = q - delta in
+              if p >= 0 && p < nprocs && pair_nonempty q p then emit_fallback_pair q p
+            done
+        end
+        else
+          for q = 0 to nprocs - 1 do
+            let p = q - delta in
+            if p >= 0 && p < nprocs && pair_nonempty q p then emit_fallback_pair q p
+          done)
+      deltas;
+    !sends @ !recvs
+  end
+
+let emit_section_comm ~nprocs ~tag ~array ~(owned : Iset.t array) ~dim ~rank
+    ~(need : Iset.t array) ~(other_dims : other_dim list) : Node.nstmt list =
+  emit_section_comm_multi ~nprocs ~tag ~owned ~dim ~rank
+    ~parts:[ (array, need, other_dims) ]
+
+(* Owner arithmetic for an index expression under a layout. *)
+let owner_expr ~nprocs (layout : Layout.t) (index : Ast.expr) : Ast.expr =
+  match (layout.Layout.dist_dim, layout.Layout.dist) with
+  | None, _ | _, Layout.Replicated -> int_e 0
+  | Some d, Layout.Block b ->
+    let lo, _ = List.nth layout.Layout.bounds d in
+    let shifted =
+      if lo = 0 then index else Ast.Bin (Ast.Sub, index, int_e lo)
+    in
+    Ast.Funcall ("min", [ Ast.Bin (Ast.Div, shifted, int_e b); int_e (nprocs - 1) ])
+  | Some d, Layout.Cyclic ->
+    let lo, _ = List.nth layout.Layout.bounds d in
+    let shifted =
+      if lo = 0 then index else Ast.Bin (Ast.Sub, index, int_e lo)
+    in
+    Ast.Funcall ("mod", [ shifted; int_e nprocs ])
+  | Some d, Layout.Block_cyclic b ->
+    let lo, _ = List.nth layout.Layout.bounds d in
+    let shifted =
+      if lo = 0 then index else Ast.Bin (Ast.Sub, index, int_e lo)
+    in
+    Ast.Funcall
+      ("mod", [ Ast.Bin (Ast.Div, shifted, int_e b); int_e nprocs ])
+
+let owner_guard ~nprocs layout index =
+  Ast.Bin (Ast.Eq, myp, owner_expr ~nprocs layout index)
+
+(* Broadcast of the section of [array] at distributed index [index]
+   (other dimensions per [other_dims]) from its owner to everyone. *)
+let emit_bcast_section ~nprocs ~site ~array ~(layout : Layout.t) ~dim ~index
+    ~(other_dims : other_dim list) : Node.nstmt =
+  let rank = Layout.rank layout in
+  let sec = assemble_section ~rank ~dim (index, index, int_e 1) other_dims in
+  Node.N_bcast
+    { root = owner_expr ~nprocs layout index;
+      payload = Node.P_section (array, sec);
+      site }
+
+let emit_bcast_scalar ~site ~root (name : string) : Node.nstmt =
+  Node.N_bcast { root; payload = Node.P_scalar name; site }

@@ -1,0 +1,53 @@
+(** Communication generation: turn concrete per-processor need sets into
+    guarded send/recv statements (closed-form sections where an affine
+    form in [my$p] exists) and one-owner/all-consumer sections into
+    broadcasts (instantiation of the delayed RSDs; paper Section 5.4,
+    Figure 11). *)
+
+open Fd_support
+open Fd_frontend
+open Fd_machine
+
+type other_dim =
+  | Od_point of Ast.expr             (** single index expression *)
+  | Od_range of Ast.expr * Ast.expr  (** contiguous index range *)
+  | Od_full of int * int             (** whole declared extent *)
+
+val other_dim_section : other_dim -> Ast.expr * Ast.expr * Ast.expr
+
+val assemble_section :
+  rank:int -> dim:int -> Ast.expr * Ast.expr * Ast.expr -> other_dim list ->
+  Node.section
+(** Insert the distributed dimension's triplet among the others. *)
+
+val guarded : Ast.expr option -> Node.nstmt list -> Node.nstmt list
+
+val emit_section_comm :
+  nprocs:int -> tag:int -> array:string -> owned:Iset.t array -> dim:int ->
+  rank:int -> need:Iset.t array -> other_dims:other_dim list ->
+  Node.nstmt list
+(** Sends before receives (sends are asynchronous), grouped by
+    sender-receiver offset so common shift patterns compile to one
+    guarded statement each; exact per-processor fallback otherwise.
+    Empty when every processor's need is local. *)
+
+val owner_expr : nprocs:int -> Layout.t -> Ast.expr -> Ast.expr
+(** Owner arithmetic for an index under a layout (block: division with
+    clamp; cyclic: mod). *)
+
+val owner_guard : nprocs:int -> Layout.t -> Ast.expr -> Ast.expr
+(** [my$p == owner_expr ...]. *)
+
+val emit_bcast_section :
+  nprocs:int -> site:int -> array:string -> layout:Layout.t -> dim:int ->
+  index:Ast.expr -> other_dims:other_dim list -> Node.nstmt
+
+val emit_bcast_scalar : site:int -> root:Ast.expr -> string -> Node.nstmt
+
+val emit_section_comm_multi :
+  nprocs:int -> tag:int -> owned:Iset.t array -> dim:int -> rank:int ->
+  parts:(string * Iset.t array * other_dim list) list ->
+  Node.nstmt list
+(** Like {!emit_section_comm} but several (array, need, other_dims)
+    parts aggregate into one message per processor pair (paper Fig. 11
+    aggregation). *)

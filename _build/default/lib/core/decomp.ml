@@ -1,0 +1,105 @@
+(* Data decompositions as they reach references: one distribution kind
+   per array dimension.  This compiler supports at most one distributed
+   dimension per array (a 1-D logical processor arrangement), which covers
+   every example in the paper; richer processor grids would require
+   multi-dimensional ownership sets (see DESIGN.md). *)
+
+open Fd_support
+open Fd_frontend
+
+type t = { kinds : Ast.dist_kind list }
+
+let replicated rank = { kinds = List.init rank (fun _ -> Ast.Star) }
+
+let of_kinds kinds = { kinds }
+
+let rank t = List.length t.kinds
+
+let is_replicated t = List.for_all (fun k -> k = Ast.Star) t.kinds
+
+(* The unique distributed dimension (0-based) and its kind. *)
+let dist_dim t : (int * Ast.dist_kind) option =
+  let dims =
+    List.mapi (fun i k -> (i, k)) t.kinds
+    |> List.filter (fun (_, k) -> k <> Ast.Star)
+  in
+  match dims with
+  | [] -> None
+  | [ d ] -> Some d
+  | _ :: _ ->
+    Diag.error
+      "multi-dimensional distributions are not supported (at most one distributed dimension)"
+
+let equal a b = a.kinds = b.kinds
+
+let compare a b = Stdlib.compare a.kinds b.kinds
+
+(* Convert to a machine layout for an array with the given bounds. *)
+let layout_of t ~(bounds : (int * int) list) ~nprocs : Fd_machine.Layout.t =
+  if List.length bounds <> rank t then
+    Diag.error "decomposition rank %d does not match array rank %d" (rank t)
+      (List.length bounds);
+  match dist_dim t with
+  | None -> Fd_machine.Layout.replicated bounds
+  | Some (d, kind) ->
+    let dim_bounds = List.nth bounds d in
+    let dist =
+      match kind with
+      | Ast.Block ->
+        Fd_machine.Layout.Block (Fd_machine.Layout.block_size_for ~nprocs dim_bounds)
+      | Ast.Cyclic -> Fd_machine.Layout.Cyclic
+      | Ast.Block_cyclic k -> Fd_machine.Layout.Block_cyclic k
+      | Ast.Star -> assert false
+    in
+    { Fd_machine.Layout.bounds; dist_dim = Some d; dist }
+
+(* Apply an alignment: [subs] maps target (decomposition) dimensions to
+   aligned-array dimensions; the array inherits, in each of its own
+   dimensions, the distribution of the target dimension it is aligned
+   with.  Constant-aligned target dimensions contribute nothing.  Nonzero
+   offsets are accepted but only shift block boundaries, which this
+   compiler ignores (a warning is emitted at ALIGN checking time). *)
+let through_align ~(array_rank : int) (subs : Ast.align_sub list) (target : t) : t =
+  let kinds = Array.make array_rank Ast.Star in
+  List.iteri
+    (fun target_dim sub ->
+      match sub with
+      | Ast.Align_const _ -> ()
+      | Ast.Align_dim (array_dim, _offset) ->
+        if array_dim < array_rank then
+          kinds.(array_dim) <- List.nth target.kinds target_dim)
+    subs;
+  { kinds = Array.to_list kinds }
+
+let kind_name = function
+  | Ast.Block -> "block"
+  | Ast.Cyclic -> "cyclic"
+  | Ast.Block_cyclic k -> Fmt.str "block_cyclic(%d)" k
+  | Ast.Star -> ":"
+
+let pp ppf t = Fmt.pf ppf "(%s)" (String.concat "," (List.map kind_name t.kinds))
+
+let to_string t = Fmt.str "%a" pp t
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+(* A reaching-decompositions lattice value: a set of decompositions plus
+   the paper's > ("inherited from caller") placeholder. *)
+type reaching = { decomps : Set.t; top : bool }
+
+let reaching_bottom = { decomps = Set.empty; top = false }
+let reaching_top = { decomps = Set.empty; top = true }
+let reaching_single d = { decomps = Set.singleton d; top = false }
+
+let reaching_join a b = { decomps = Set.union a.decomps b.decomps; top = a.top || b.top }
+
+let reaching_equal a b = Set.equal a.decomps b.decomps && a.top = b.top
+
+let pp_reaching ppf r =
+  let elems = List.map to_string (Set.elements r.decomps) in
+  let elems = if r.top then "TOP" :: elems else elems in
+  Fmt.pf ppf "{%s}" (String.concat ", " elems)

@@ -1,0 +1,46 @@
+(* Top-level driver: parse -> check -> interprocedural compile ->
+   simulate -> verify against the sequential reference execution. *)
+
+open Fd_frontend
+open Fd_machine
+
+type run_result = {
+  stats : Stats.t;
+  mismatches : Gather.mismatch list;
+  outputs_match : bool;  (* captured PRINT lines equal the sequential run's *)
+  seq : Seq_interp.result;
+  compiled : Codegen.compiled;
+}
+
+let check_source ?file src = Sema.check_source ?file src
+
+let compile ?(opts = Options.default) (cp : Sema.checked_program) : Codegen.compiled =
+  Codegen.compile opts cp
+
+let compile_source ?opts ?file src = compile ?opts (check_source ?file src)
+
+let machine_config ?(machine : Config.t option) (opts : Options.t) : Config.t =
+  match machine with
+  | Some m -> { m with Config.nprocs = opts.Options.nprocs }
+  | None -> Config.ipsc860 ~nprocs:opts.Options.nprocs ()
+
+(* Compile and simulate; verifies final array contents and captured output
+   against the sequential interpreter. *)
+let run ?(opts = Options.default) ?machine (cp : Sema.checked_program) : run_result =
+  let compiled = compile ~opts cp in
+  let config = machine_config ?machine opts in
+  let stats, frames = Scheduler.run config compiled.Codegen.program in
+  let seq = Seq_interp.run ~config cp in
+  let mismatches =
+    Gather.compare_results ~nprocs:opts.Options.nprocs seq frames
+  in
+  let outputs_match = Stats.outputs stats = seq.Seq_interp.outputs in
+  { stats; mismatches; outputs_match; seq; compiled }
+
+let run_source ?opts ?machine ?file src =
+  run ?opts ?machine (check_source ?file src)
+
+let verified r = r.mismatches = [] && r.outputs_match
+
+(* Parallel-vs-sequential elapsed-time speedup estimate. *)
+let speedup r = r.seq.Seq_interp.seq_time /. Stats.elapsed r.stats

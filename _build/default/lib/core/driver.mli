@@ -1,0 +1,37 @@
+(** Top-level driver: parse -> check -> interprocedural compile ->
+    simulate -> verify against the sequential reference execution. *)
+
+open Fd_frontend
+open Fd_machine
+
+type run_result = {
+  stats : Stats.t;
+  mismatches : Gather.mismatch list;
+  outputs_match : bool;
+      (** captured PRINT lines equal the sequential run's *)
+  seq : Seq_interp.result;
+  compiled : Codegen.compiled;
+}
+
+val check_source : ?file:string -> string -> Sema.checked_program
+
+val compile : ?opts:Options.t -> Sema.checked_program -> Codegen.compiled
+
+val compile_source :
+  ?opts:Options.t -> ?file:string -> string -> Codegen.compiled
+
+val machine_config : ?machine:Config.t -> Options.t -> Config.t
+
+val run :
+  ?opts:Options.t -> ?machine:Config.t -> Sema.checked_program -> run_result
+(** Compile, simulate, and compare final array contents and captured
+    output against the sequential interpreter. *)
+
+val run_source :
+  ?opts:Options.t -> ?machine:Config.t -> ?file:string -> string -> run_result
+
+val verified : run_result -> bool
+(** No array mismatches and identical PRINT output. *)
+
+val speedup : run_result -> float
+(** Estimated sequential time divided by simulated parallel makespan. *)

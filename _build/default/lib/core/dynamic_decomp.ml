@@ -1,0 +1,514 @@
+(* Dynamic data decomposition (paper Section 6).
+
+   Remapping operations are materialized as `remap$` pseudo-statements in
+   the procedure body (around call sites, from the callees' exported
+   DecompBefore/DecompAfter sets; and at local DISTRIBUTE statements),
+   then optimized:
+
+     - live decompositions: CFG-based dead-remap elimination (Fig. 16b)
+       and redundant-remap removal (coalescing);
+     - loop-invariant decompositions: hoisting leading/trailing remaps out
+       of loops (Fig. 16c);
+     - array kills: a physical remap whose array's values are dead (fully
+       overwritten before any read) becomes a mark-only remap (Fig. 16d).
+
+   The pseudo-statement encoding is
+     call remap$(X, dim, kind, blocksize, move)
+   with kind 0=replicated 1=block 2=cyclic 3=block_cyclic, dim 0-based
+   (-1 = replicated), move 1=physical 0=mark-only. *)
+
+open Fd_support
+open Fd_frontend
+open Fd_analysis
+
+module SS = Set.Make (String)
+
+let pseudo_sid = ref 1_000_000
+
+let fresh_pseudo_sid () =
+  incr pseudo_sid;
+  !pseudo_sid
+
+type remap = { rm_array : string; rm_decomp : Decomp.t; rm_move : bool }
+
+let kind_code = function
+  | Ast.Star -> (0, 0)
+  | Ast.Block -> (1, 0)
+  | Ast.Cyclic -> (2, 0)
+  | Ast.Block_cyclic k -> (3, k)
+
+let kind_of_code code size =
+  match code with
+  | 0 -> Ast.Star
+  | 1 -> Ast.Block
+  | 2 -> Ast.Cyclic
+  | 3 -> Ast.Block_cyclic size
+  | _ -> Diag.error "bad remap$ kind code %d" code
+
+let remap_stmt (rm : remap) : Ast.stmt =
+  let dim, kind, size =
+    match Decomp.dist_dim rm.rm_decomp with
+    | None -> (-1, 0, 0)
+    | Some (d, k) ->
+      let c, s = kind_code k in
+      (d, c, s)
+  in
+  { Ast.sid = fresh_pseudo_sid ();
+    loc = Loc.none;
+    kind =
+      Ast.Call
+        ( "remap$",
+          [ Ast.Var rm.rm_array; Ast.Int_const dim; Ast.Int_const kind;
+            Ast.Int_const size; Ast.Int_const (if rm.rm_move then 1 else 0) ] ) }
+
+let as_remap (s : Ast.stmt) : remap option =
+  match s.Ast.kind with
+  | Ast.Call
+      ( "remap$",
+        [ Ast.Var array; Ast.Int_const dim; Ast.Int_const kind; Ast.Int_const size;
+          Ast.Int_const move ] ) ->
+    let rank = 1 + max dim 0 in
+    let kinds =
+      if dim < 0 then []
+      else
+        List.init rank (fun i -> if i = dim then kind_of_code kind size else Ast.Star)
+    in
+    Some
+      { rm_array = array;
+        rm_decomp = (if dim < 0 then Decomp.replicated 1 else Decomp.of_kinds kinds);
+        rm_move = move = 1 }
+  | _ -> None
+
+let is_remap_of array s =
+  match as_remap s with Some r -> String.equal r.rm_array array | None -> false
+
+(* remap$ preserves the rank opaquely: the code generator resolves the
+   actual rank from the symbol table; only dist_dim/kind matter here. *)
+
+(* --- Uses of an array's current decomposition ------------------------ *)
+
+(* Does statement [s] (not descending into compound bodies) use array
+   [x]'s decomposition: reference it, or pass it to a procedure that
+   references it? *)
+let stmt_uses_array ~(call_touches : string -> Ast.expr list -> SS.t) (x : string)
+    (s : Ast.stmt) : bool =
+  match as_remap s with
+  | Some _ -> false
+  | None -> (
+    let found = ref false in
+    let check_expr e =
+      Ast.iter_exprs_expr
+        (fun e' ->
+          match e' with
+          | Ast.Ref (a, _) when String.equal a x -> found := true
+          | Ast.Var a when String.equal a x -> found := true
+          | _ -> ())
+        e
+    in
+    (match s.Ast.kind with
+    | Ast.Assign (lhs, rhs) ->
+      check_expr lhs;
+      check_expr rhs
+    | Ast.Do d ->
+      check_expr d.lo;
+      check_expr d.hi;
+      Option.iter check_expr d.step
+    | Ast.If i -> check_expr i.cond
+    | Ast.Call (callee, args) ->
+      if SS.mem x (call_touches callee args) then found := true
+    | Ast.Print args -> List.iter check_expr args
+    | Ast.Align _ | Ast.Distribute _ | Ast.Return -> ());
+    !found)
+
+let rec subtree_uses_array ~call_touches x (s : Ast.stmt) : bool =
+  stmt_uses_array ~call_touches x s
+  ||
+  match s.Ast.kind with
+  | Ast.Do d -> List.exists (subtree_uses_array ~call_touches x) d.body
+  | Ast.If i ->
+    List.exists (subtree_uses_array ~call_touches x) i.then_
+    || List.exists (subtree_uses_array ~call_touches x) i.else_
+  | _ -> false
+
+let rec subtree_remaps_array x (s : Ast.stmt) : bool =
+  is_remap_of x s
+  ||
+  match s.Ast.kind with
+  | Ast.Do d -> List.exists (subtree_remaps_array x) d.body
+  | Ast.If i ->
+    List.exists (subtree_remaps_array x) i.then_
+    || List.exists (subtree_remaps_array x) i.else_
+  | _ -> false
+
+(* --- Pass 1: dead-remap elimination (backward liveness on the CFG) --- *)
+
+let dead_remap_elim ~call_touches (body : Ast.stmt list) : Ast.stmt list * int =
+  let cfg = Cfg.build body in
+  (* facts: set of array names whose current decomposition may still be
+     used downstream *)
+  let module L = struct
+    type t = SS.t
+
+    let bottom = SS.empty
+    let join = SS.union
+    let equal = SS.equal
+  end in
+  let module Solver = Dataflow.Make (L) in
+  let transfer _ node fact =
+    match node with
+    | Cfg.Entry | Cfg.Exit -> fact
+    | Cfg.Stmt s -> (
+      match as_remap s with
+      | Some r -> SS.remove r.rm_array fact
+      | None ->
+        (* add arrays used by this statement *)
+        let used = ref fact in
+        let check x = if stmt_uses_array ~call_touches x s then used := SS.add x !used in
+        (* compute over all arrays mentioned; collect names from the stmt *)
+        let names = ref SS.empty in
+        Ast.iter_exprs_stmt
+          (fun e ->
+            Ast.iter_exprs_expr
+              (fun e' ->
+                match e' with
+                | Ast.Ref (a, _) | Ast.Var a -> names := SS.add a !names
+                | _ -> ())
+              e)
+          s;
+        (match s.Ast.kind with
+        | Ast.Call (callee, args) -> names := SS.union !names (call_touches callee args)
+        | _ -> ());
+        SS.iter check !names;
+        !used)
+  in
+  let result = Solver.solve ~direction:Dataflow.Backward ~init:SS.empty ~transfer cfg in
+  (* live-out of a node in a backward problem is the join of inputs of
+     CFG successors = the solver's input at that node minus its own
+     transfer...  Simpler: a remap node is dead iff its own array is not
+     in the join of its successors' output facts. *)
+  let removed = ref 0 in
+  let live_after i =
+    List.fold_left (fun acc s -> SS.union acc result.Solver.output.(s)) SS.empty
+      (Cfg.succs cfg i)
+  in
+  let dead_sids = ref [] in
+  for i = 0 to Cfg.length cfg - 1 do
+    match Cfg.node cfg i with
+    | Cfg.Stmt s -> (
+      match as_remap s with
+      | Some r ->
+        if not (SS.mem r.rm_array (live_after i)) then begin
+          dead_sids := s.Ast.sid :: !dead_sids;
+          incr removed
+        end
+      | None -> ())
+    | _ -> ()
+  done;
+  let rec filter stmts =
+    List.filter_map
+      (fun (s : Ast.stmt) ->
+        if List.mem s.Ast.sid !dead_sids then None
+        else
+          match s.Ast.kind with
+          | Ast.Do d -> Some { s with kind = Ast.Do { d with body = filter d.body } }
+          | Ast.If i ->
+            Some
+              { s with
+                kind = Ast.If { i with then_ = filter i.then_; else_ = filter i.else_ } }
+          | _ -> Some s)
+      stmts
+  in
+  (filter body, !removed)
+
+(* --- Pass 2: redundant-remap removal (forward decomposition tracking) - *)
+
+module DM = Map.Make (String)
+
+let redundant_remap_elim ~(initial : Decomp.t DM.t) (body : Ast.stmt list) :
+    Ast.stmt list * int =
+  let cfg = Cfg.build body in
+  (* fact: array -> current decomposition; absence = unknown/conflict.
+     The lattice join keeps only agreeing entries. *)
+  let module L = struct
+    type t = Decomp.t DM.t option  (* None = unreachable (bottom) *)
+
+    let bottom = None
+
+    let join a b =
+      match (a, b) with
+      | None, x | x, None -> x
+      | Some m1, Some m2 ->
+        Some
+          (DM.merge
+             (fun _ d1 d2 ->
+               match (d1, d2) with
+               | Some x, Some y when Decomp.equal x y -> Some x
+               | _ -> None)
+             m1 m2)
+
+    let equal a b =
+      match (a, b) with
+      | None, None -> true
+      | Some m1, Some m2 -> DM.equal Decomp.equal m1 m2
+      | _ -> false
+  end in
+  let module Solver = Dataflow.Make (L) in
+  let transfer _ node fact =
+    match (node, fact) with
+    | _, None -> (
+      match node with
+      | Cfg.Entry -> Some initial
+      | _ -> None)
+    | Cfg.Stmt s, Some m -> (
+      match as_remap s with
+      | Some r -> Some (DM.add r.rm_array r.rm_decomp m)
+      | None -> Some m)
+    | (Cfg.Entry | Cfg.Exit), Some m -> Some m
+  in
+  let result =
+    Solver.solve ~direction:Dataflow.Forward ~init:(Some initial) ~transfer cfg
+  in
+  let redundant = ref [] in
+  for i = 0 to Cfg.length cfg - 1 do
+    match Cfg.node cfg i with
+    | Cfg.Stmt s -> (
+      match as_remap s with
+      | Some r -> (
+        match result.Solver.input.(i) with
+        | Some m -> (
+          match DM.find_opt r.rm_array m with
+          | Some d when Decomp.equal d r.rm_decomp ->
+            redundant := s.Ast.sid :: !redundant
+          | _ -> ())
+        | None -> ())
+      | None -> ())
+    | _ -> ()
+  done;
+  let rec filter stmts =
+    List.filter_map
+      (fun (s : Ast.stmt) ->
+        if List.mem s.Ast.sid !redundant then None
+        else
+          match s.Ast.kind with
+          | Ast.Do d -> Some { s with kind = Ast.Do { d with body = filter d.body } }
+          | Ast.If i ->
+            Some
+              { s with
+                kind = Ast.If { i with then_ = filter i.then_; else_ = filter i.else_ } }
+          | _ -> Some s)
+      stmts
+  in
+  (filter body, List.length !redundant)
+
+(* --- Pass 3: loop-invariant hoisting --------------------------------- *)
+
+(* A remap R of X inside a loop body may move *after* the loop when no
+   use of X follows it in the body, and the first X-touching item of the
+   body (reached via the back edge) is itself a remap of X (or X is not
+   used in the body at all).  A remap at the head of the body that is the
+   only remap of X left in the body may then move *before* the loop. *)
+let rec hoist_loops ~call_touches (stmts : Ast.stmt list) : Ast.stmt list * int =
+  let moved = ref 0 in
+  let uses x s = subtree_uses_array ~call_touches x s in
+  let result =
+    List.concat_map
+      (fun (s : Ast.stmt) ->
+        match s.Ast.kind with
+        | Ast.Do d ->
+          let body, m = hoist_loops ~call_touches d.body in
+          moved := !moved + m;
+          (* collect remaps movable after the loop *)
+          let first_touch_is_remap x body =
+            let rec scan = function
+              | [] -> true  (* X untouched in body *)
+              | t :: rest ->
+                if is_remap_of x t then true
+                else if uses x t || subtree_remaps_array x t then false
+                else scan rest
+            in
+            scan body
+          in
+          let rec split before = function
+            | [] -> (List.rev before, [])
+            | t :: rest -> (
+              match as_remap t with
+              | Some r
+                when (not (List.exists (uses r.rm_array) rest))
+                     && not (List.exists (subtree_remaps_array r.rm_array) rest) ->
+                if first_touch_is_remap r.rm_array (List.rev_append before rest) then begin
+                  incr moved;
+                  let kept, trailing = split before rest in
+                  (kept, t :: trailing)
+                end
+                else
+                  let kept, trailing = split (t :: before) rest in
+                  (kept, trailing)
+              | _ ->
+                let kept, trailing = split (t :: before) rest in
+                (kept, trailing))
+          in
+          let body, trailing = split [] body in
+          (* leading remap that is the only remap of its array in the
+             body: move before the loop *)
+          let leading, body =
+            match body with
+            | first :: rest when as_remap first <> None ->
+              let r = Option.get (as_remap first) in
+              if not (List.exists (subtree_remaps_array r.rm_array) rest) then begin
+                incr moved;
+                (Some first, rest)
+              end
+              else (None, body)
+            | _ -> (None, body)
+          in
+          Option.to_list leading
+          @ [ { s with kind = Ast.Do { d with body } } ]
+          @ trailing
+        | Ast.If i ->
+          let then_, m1 = hoist_loops ~call_touches i.then_ in
+          let else_, m2 = hoist_loops ~call_touches i.else_ in
+          moved := !moved + m1 + m2;
+          [ { s with kind = Ast.If { i with then_; else_ } } ]
+        | _ -> [ s ])
+      stmts
+  in
+  (result, !moved)
+
+(* --- Pass 4: array kills (remap in place) ----------------------------- *)
+
+(* Does this statement subtree fully overwrite [x] (declared bounds
+   [dims]) without reading it first?  Detected for rectangular loop nests
+   with affine stores covering the whole declared region. *)
+let fully_overwrites (symtab : Symtab.t) (dims : (int * int) list) (x : string)
+    (s : Ast.stmt) : bool =
+  let refs = Sections.collect symtab [ s ] in
+  let reads = List.filter (fun r -> (not r.Sections.is_write) && String.equal r.Sections.array x) refs in
+  if reads <> [] then false
+  else begin
+    let written = Sections.written_region ~declared:dims ~array:x refs in
+    let full =
+      Region.of_triplets (List.map (fun (lo, hi) -> Triplet.make ~lo ~hi ~step:1) dims)
+    in
+    (* written is an over-approximation in general, but for exact affine
+       single-loop-var subscripts it is exact; require subscripts to be
+       exact before trusting coverage *)
+    let writes = List.filter (fun r -> r.Sections.is_write && String.equal r.Sections.array x) refs in
+    let exact =
+      List.for_all
+        (fun (r : Sections.ref_info) ->
+          List.for_all
+            (fun sub ->
+              match sub with
+              | Some a -> (
+                match Affine.vars a with
+                | [] -> true
+                | [ _ ] -> true
+                | _ -> false)
+              | None -> false)
+            r.Sections.subs)
+        writes
+    in
+    exact && Region.subset full written
+  end
+
+(* [value_killer callee i] says whether the named procedure fully
+   overwrites its i-th formal (0-based) before reading it. *)
+let array_kills ~(symtab : Symtab.t) ~(value_killer : string -> int -> bool)
+    (body : Ast.stmt list) : Ast.stmt list * int =
+  let converted = ref 0 in
+  let dims_of x =
+    match Symtab.array_info symtab x with Some i -> Some i.Symtab.dims | None -> None
+  in
+  (* scan each block: for a physical remap, look at the following
+     statements in the same block; if the first to touch the array kills
+     its values, convert the remap to mark-only *)
+  let next_touch_kills x rest =
+    let rec first_touch = function
+      | [] -> None
+      | t :: more ->
+        if subtree_remaps_array x t then Some (`Remap t)
+        else if
+          subtree_uses_array
+            ~call_touches:(fun _callee args ->
+              (* any call mentioning x as an actual touches it *)
+              if
+                List.exists
+                  (function Ast.Var v -> String.equal v x | _ -> false)
+                  args
+              then SS.singleton x
+              else SS.empty)
+            x t
+        then Some (`Use t)
+        else first_touch more
+    in
+    match first_touch rest with
+    | Some (`Use t) -> (
+      match t.Ast.kind with
+      | Ast.Call (callee, args) -> (
+        (* resolve the formal position bound to actual x *)
+        match
+          List.find_map
+            (fun (i, a) ->
+              match a with
+              | Ast.Var v when String.equal v x -> Some i
+              | _ -> None)
+            (List.mapi (fun i a -> (i, a)) args)
+        with
+        | Some idx -> value_killer callee idx
+        | None -> false)
+      | _ -> (
+        match dims_of x with
+        | Some dims -> fully_overwrites symtab dims x t
+        | None -> false))
+    | _ -> false
+  in
+  let rec scan_block (stmts : Ast.stmt list) : Ast.stmt list =
+    match stmts with
+    | [] -> []
+    | s :: rest -> (
+      match as_remap s with
+      | Some r when r.rm_move && next_touch_kills r.rm_array rest ->
+        incr converted;
+        remap_stmt { r with rm_move = false } :: scan_block rest
+      | Some _ -> s :: scan_block rest
+      | None -> (
+        match s.Ast.kind with
+        | Ast.Do d ->
+          { s with kind = Ast.Do { d with body = scan_block d.body } } :: scan_block rest
+        | Ast.If i ->
+          { s with
+            kind = Ast.If { i with then_ = scan_block i.then_; else_ = scan_block i.else_ } }
+          :: scan_block rest
+        | _ -> s :: scan_block rest))
+  in
+  (scan_block body, !converted)
+
+type opt_stats = { dead_removed : int; redundant_removed : int; hoisted : int; kills : int }
+
+(* Run the optimization passes appropriate to the remap level. *)
+let optimize (level : Options.remap_level) ~call_touches ~initial ~symtab
+    ~value_killer (body : Ast.stmt list) : Ast.stmt list * opt_stats =
+  match level with
+  | Options.Remap_none ->
+    (body, { dead_removed = 0; redundant_removed = 0; hoisted = 0; kills = 0 })
+  | Options.Remap_live | Options.Remap_hoist | Options.Remap_kill ->
+    let body, dead1 = dead_remap_elim ~call_touches body in
+    let body, red1 = redundant_remap_elim ~initial body in
+    let body, hoisted, dead2, red2 =
+      if level = Options.Remap_live then (body, 0, 0, 0)
+      else begin
+        let body, h = hoist_loops ~call_touches body in
+        let body, d = dead_remap_elim ~call_touches body in
+        let body, r = redundant_remap_elim ~initial body in
+        (body, h, d, r)
+      end
+    in
+    let body, kills =
+      if level = Options.Remap_kill then array_kills ~symtab ~value_killer body
+      else (body, 0)
+    in
+    ( body,
+      { dead_removed = dead1 + dead2;
+        redundant_removed = red1 + red2;
+        hoisted;
+        kills } )

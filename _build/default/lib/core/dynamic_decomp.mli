@@ -1,0 +1,81 @@
+(** Dynamic data decomposition (paper Section 6).
+
+    Remapping operations are materialized as [remap$] pseudo-statements
+    in procedure bodies (around call sites from the callees' exported
+    DecompBefore/DecompAfter sets, and at local DISTRIBUTE statements),
+    then optimized:
+
+    - live decompositions: CFG-based dead-remap elimination (Fig. 16b)
+      and redundant-remap removal (coalescing);
+    - loop-invariant decompositions: hoisting leading/trailing remaps
+      out of loops (Fig. 16c);
+    - array kills: a physical remap whose array's values are dead (fully
+      overwritten before any read) becomes mark-only (Fig. 16d). *)
+
+open Fd_frontend
+
+module SS : Set.S with type elt = string
+module DM : Map.S with type key = string and type 'a t = 'a Map.Make(String).t
+
+type remap = { rm_array : string; rm_decomp : Decomp.t; rm_move : bool }
+
+val remap_stmt : remap -> Ast.stmt
+(** Encode as a [remap$] pseudo-call with a fresh (pseudo-range)
+    statement id. *)
+
+val as_remap : Ast.stmt -> remap option
+val is_remap_of : string -> Ast.stmt -> bool
+
+val stmt_uses_array :
+  call_touches:(string -> Ast.expr list -> SS.t) -> string -> Ast.stmt -> bool
+(** Does the statement use the array's current decomposition (reference
+    it, or pass it to a procedure that touches it)?  Does not descend
+    into compound bodies. *)
+
+val subtree_uses_array :
+  call_touches:(string -> Ast.expr list -> SS.t) -> string -> Ast.stmt -> bool
+
+val subtree_remaps_array : string -> Ast.stmt -> bool
+
+val dead_remap_elim :
+  call_touches:(string -> Ast.expr list -> SS.t) ->
+  Ast.stmt list ->
+  Ast.stmt list * int
+(** Backward liveness over the CFG; returns the count removed. *)
+
+val redundant_remap_elim :
+  initial:Decomp.t DM.t -> Ast.stmt list -> Ast.stmt list * int
+(** Forward decomposition tracking; removes remaps to the current
+    layout. *)
+
+val hoist_loops :
+  call_touches:(string -> Ast.expr list -> SS.t) ->
+  Ast.stmt list ->
+  Ast.stmt list * int
+
+val fully_overwrites :
+  Symtab.t -> (int * int) list -> string -> Ast.stmt -> bool
+(** Does the statement subtree overwrite the whole declared region
+    without reading it first?  (Exact affine coverage only.) *)
+
+val array_kills :
+  symtab:Symtab.t ->
+  value_killer:(string -> int -> bool) ->
+  Ast.stmt list ->
+  Ast.stmt list * int
+
+type opt_stats = {
+  dead_removed : int;
+  redundant_removed : int;
+  hoisted : int;
+  kills : int;
+}
+
+val optimize :
+  Options.remap_level ->
+  call_touches:(string -> Ast.expr list -> SS.t) ->
+  initial:Decomp.t DM.t ->
+  symtab:Symtab.t ->
+  value_killer:(string -> int -> bool) ->
+  Ast.stmt list ->
+  Ast.stmt list * opt_stats

@@ -1,0 +1,176 @@
+(* Closed-form reconstruction: turn concrete per-processor integer data
+   into node-program expressions over my$p.
+
+   The compiler computes index/iteration sets exactly, per processor
+   (DESIGN.md section 6); code generation fits the per-processor family
+   back into symbolic form — a*my$p + b, optionally clipped by min/max —
+   and falls back to a compile-time lookup table tab$(my$p, c0, c1, ...)
+   when no affine form exists. *)
+
+open Fd_support
+open Fd_frontend
+
+let myp = Ast.Var "my$p"
+
+let int_e n = Ast.Int_const n
+
+(* a*my$p + b as an expression, simplified. *)
+let linear_expr a b =
+  if a = 0 then int_e b
+  else
+    let t = if a = 1 then myp else Ast.Bin (Ast.Mul, int_e a, myp) in
+    if b = 0 then t
+    else if b > 0 then Ast.Bin (Ast.Add, t, int_e b)
+    else Ast.Bin (Ast.Sub, t, int_e (-b))
+
+let tab_expr values =
+  Ast.Funcall ("tab$", myp :: List.map int_e (Array.to_list values))
+
+(* Fit v_p = a*p + b over the processors where mask holds. *)
+let fit_linear ~(mask : bool array) (values : int array) : (int * int) option =
+  let pts =
+    Array.to_list (Array.mapi (fun p v -> (p, v)) values)
+    |> List.filter (fun (p, _) -> mask.(p))
+  in
+  match pts with
+  | [] -> Some (0, 0)
+  | [ (p0, v0) ] -> Some (0, v0 - (0 * p0))
+  | (p0, v0) :: (p1, v1) :: _ ->
+    if (v1 - v0) mod (p1 - p0) <> 0 then None
+    else
+      let a = (v1 - v0) / (p1 - p0) in
+      let b = v0 - (a * p0) in
+      if List.for_all (fun (p, v) -> (a * p) + b = v) pts then Some (a, b) else None
+
+(* Expression computing [values.(my$p)] for processors in [mask]:
+   linear fit, then linear-with-min / linear-with-max clip, then table. *)
+let expr_of_values ?(mask : bool array option) (values : int array) : Ast.expr =
+  let n = Array.length values in
+  let mask = match mask with Some m -> m | None -> Array.make n true in
+  match fit_linear ~mask values with
+  | Some (a, b) -> linear_expr a b
+  | None ->
+    (* try min(a*p+b, c): c = max over masked; fit linear on procs below c *)
+    let masked = Listx.init_opt n (fun p -> if mask.(p) then Some values.(p) else None) in
+    let try_clip pick name =
+      match masked with
+      | [] -> None
+      | v0 :: rest ->
+        let c = List.fold_left pick v0 rest in
+        let inner_mask = Array.mapi (fun p v -> mask.(p) && v <> c) values in
+        (match fit_linear ~mask:inner_mask values with
+        | Some (a, b) when a <> 0 ->
+          let ok = ref true in
+          Array.iteri
+            (fun p v ->
+              if mask.(p) then begin
+                let fitted = (a * p) + b in
+                let clipped = if name = "min" then min fitted c else max fitted c in
+                if clipped <> v then ok := false
+              end)
+            values;
+          if !ok then Some (Ast.Funcall (name, [ linear_expr a b; int_e c ])) else None
+        | _ -> None)
+    in
+    (match try_clip max "min" with
+    | Some e -> e
+    | None -> (
+      match try_clip min "max" with
+      | Some e -> e
+      | None -> tab_expr values))
+
+(* Guard expression true exactly on processors where [mask] holds;
+   [None] when the mask is all-true. *)
+let guard_of_mask (mask : bool array) : Ast.expr option =
+  let n = Array.length mask in
+  if Array.for_all Fun.id mask then None
+  else if Array.for_all not mask then Some (Ast.Logical_const false)
+  else begin
+    (* contiguous range? *)
+    let first = ref (-1) and last = ref (-1) and contiguous = ref true in
+    Array.iteri
+      (fun p m ->
+        if m then begin
+          if !first < 0 then first := p;
+          if !last >= 0 && p > !last + 1 then contiguous := false;
+          last := p
+        end)
+      mask;
+    if !contiguous then begin
+      let lo = !first and hi = !last in
+      if lo = 0 then Some (Ast.Bin (Ast.Le, myp, int_e hi))
+      else if hi = n - 1 then Some (Ast.Bin (Ast.Ge, myp, int_e lo))
+      else if lo = hi then Some (Ast.Bin (Ast.Eq, myp, int_e lo))
+      else
+        Some
+          (Ast.Bin
+             (Ast.And, Ast.Bin (Ast.Ge, myp, int_e lo), Ast.Bin (Ast.Le, myp, int_e hi)))
+    end
+    else
+      Some
+        (Ast.Bin
+           ( Ast.Eq,
+             tab_expr (Array.map (fun m -> if m then 1 else 0) mask),
+             int_e 1 ))
+  end
+
+(* Fit a per-processor family of (at most single-triplet) sets into
+   (lo, hi, step) expressions plus a guard restricting to processors with
+   nonempty sets.  Empty-set processors are excluded via the guard; when
+   every processor is empty the result is None. *)
+type fitted_triplet = {
+  f_lo : Ast.expr;
+  f_hi : Ast.expr;
+  f_step : Ast.expr;
+  f_guard : Ast.expr option;  (* None = all processors participate *)
+}
+
+exception Not_single_triplet
+
+let fit_procset (sets : Iset.t array) : fitted_triplet option =
+  let n = Array.length sets in
+  let mask = Array.map (fun s -> not (Iset.is_empty s)) sets in
+  if Array.for_all not mask then None
+  else begin
+    let los = Array.make n 0 and his = Array.make n 0 and steps = Array.make n 1 in
+    Array.iteri
+      (fun p s ->
+        if mask.(p) then
+          match Iset.triplets s with
+          | [ t ] ->
+            los.(p) <- Triplet.lo t;
+            his.(p) <- Triplet.hi t;
+            steps.(p) <- Triplet.step t
+          | _ -> raise Not_single_triplet)
+      sets;
+    (* default junk for empty processors so the table stays total: use an
+       empty range lo=1, hi=0 *)
+    Array.iteri
+      (fun p m ->
+        if not m then begin
+          los.(p) <- 1;
+          his.(p) <- 0;
+          steps.(p) <- 1
+        end)
+      mask;
+    (* If some processors are empty, making lo > hi there lets us drop the
+       guard when lo/hi fit linearly across *all* processors with that
+       junk; otherwise keep the mask guard and fit on masked procs. *)
+    let fit_with m =
+      ( expr_of_values ~mask:m los,
+        expr_of_values ~mask:m his,
+        expr_of_values ~mask:m steps )
+    in
+    let all = Array.make n true in
+    let lo_e, hi_e, step_e, guard =
+      if Array.for_all Fun.id mask then
+        let l, h, s = fit_with all in
+        (l, h, s, None)
+      else
+        let l, h, s = fit_with mask in
+        (l, h, s, guard_of_mask mask)
+    in
+    Some { f_lo = lo_e; f_hi = hi_e; f_step = step_e; f_guard = guard }
+  end
+
+let fit_procset_opt sets = try fit_procset sets with Not_single_triplet -> None

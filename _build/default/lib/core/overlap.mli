@@ -1,0 +1,35 @@
+(** Overlap analysis (paper Section 5.6, Figure 13): constant subscript
+    offsets per array dimension, propagated bottom-up through
+    formal/actual bindings, *estimate* the maximal overlap regions; the
+    *actual* need is what communication analysis finds on the
+    distributed dimension.  The estimate is a superset of the actual
+    (property-tested); experiment E7 reports both. *)
+
+open Fd_frontend
+
+module SM : Map.S with type key = string and type 'a t = 'a Map.Make(String).t
+
+type offsets = { neg : int; pos : int }
+(** widths below / above the local block *)
+
+val no_offsets : offsets
+val merge : offsets -> offsets -> offsets
+
+val local_offsets :
+  ?reads_only:bool ->
+  ?dist_dim_of:(string -> int option) ->
+  Sema.checked_unit ->
+  offsets SM.t
+(** Per-procedure constant offsets, keyed ["array.dim"]. *)
+
+type row = {
+  ov_proc : string;
+  ov_array : string;
+  ov_dim : int;  (** 1-based for display *)
+  ov_estimated : offsets;
+  ov_actual : offsets;
+}
+
+val analyze : Options.t -> Sema.checked_program -> row list
+
+val pp_row : Format.formatter -> row -> unit

@@ -1,0 +1,58 @@
+(** Reaching decompositions (paper Section 5.2, Figure 6).
+
+    Local phase: forward dataflow over each procedure's CFG computing, at
+    every point, the set of decompositions reaching each array
+    (ALIGN/DISTRIBUTE act as definitions; formal arrays start at the >
+    "inherited" placeholder).  Interprocedural phase: one top-down pass in
+    topological order computes Reaching(P) by translating call-site facts
+    (actuals to formals), then expands the local placeholders. *)
+
+open Fd_frontend
+open Fd_callgraph
+
+module SM : Map.S with type key = string and type 'a t = 'a Map.Make(String).t
+
+type fact = Decomp.reaching SM.t
+
+val fact_join : fact -> fact -> fact
+val fact_equal : fact -> fact -> bool
+val get_reaching : fact -> string -> Decomp.reaching
+
+val align_map :
+  Sema.checked_unit -> (string * Ast.align_sub list) SM.t
+(** Static alignment map: array -> (target, subscripts); the last ALIGN
+    per array wins, with a warning when several disagree. *)
+
+val initial_fact : Sema.checked_unit -> fact
+
+type local_result
+(** The solved local problem for one procedure (with inherited
+    decompositions seeded after interprocedural propagation). *)
+
+val solve_local : ?seed:fact -> Sema.checked_unit -> local_result
+
+val aligns_of : local_result -> (string * Ast.align_sub list) SM.t
+
+val fact_before : local_result -> int -> fact
+(** Fact at the program point before the statement with the given id. *)
+
+val fact_at_exit : local_result -> fact
+
+type t
+
+val compute : Acg.t -> t
+
+val reaching_of : t -> string -> fact
+(** Reaching(P): decompositions inherited by each formal array. *)
+
+val local_of : t -> string -> local_result
+
+val unique_at : t -> string -> int -> string -> Decomp.t option
+(** The single decomposition of an array at a point; errors when several
+    reach (cloning should have made it unique). *)
+
+val maybe_distributed : t -> string -> int -> string -> bool
+(** Tolerant variant used by run-time resolution: may the array be
+    non-replicated here? *)
+
+val pp_proc_reaching : Format.formatter -> t * string -> unit

@@ -1,0 +1,1 @@
+lib/frontend/ast.ml: Fd_support List Loc Option

@@ -1,0 +1,1 @@
+lib/frontend/ast_printer.ml: Ast Fd_support Fmt List Listx String

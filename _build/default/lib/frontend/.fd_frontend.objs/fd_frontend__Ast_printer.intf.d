@@ -1,0 +1,1 @@
+lib/frontend/ast_printer.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/frontend/lexer.ml: Diag Fd_support List Loc String Token

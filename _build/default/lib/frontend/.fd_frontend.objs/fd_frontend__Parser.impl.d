@@ -1,0 +1,1 @@
+lib/frontend/parser.ml: Array Ast Diag Fd_support Format Lexer List Loc String Token

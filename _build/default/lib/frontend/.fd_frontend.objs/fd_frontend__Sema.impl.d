@@ -1,0 +1,1 @@
+lib/frontend/sema.ml: Ast Ast_printer Diag Fd_support Fmt List Listx Loc Option Parser String Symtab

@@ -1,0 +1,1 @@
+lib/frontend/symtab.ml: Ast Diag Fd_support Hashtbl List

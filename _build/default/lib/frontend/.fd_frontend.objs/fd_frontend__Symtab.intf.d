@@ -1,0 +1,1 @@
+lib/frontend/symtab.mli: Ast

@@ -1,0 +1,1 @@
+lib/frontend/token.mli: Format

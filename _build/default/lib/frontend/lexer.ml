@@ -1,0 +1,243 @@
+(* Hand-written lexer for mini-Fortran D.
+
+   Free-form source: case-insensitive keywords and identifiers, `!`
+   comments to end of line, `&` at end of line continues the statement,
+   `;` acts as a statement separator (lexed as NEWLINE).  Identifiers may
+   contain `$` (compiler-generated names like my$p are legal source). *)
+
+open Fd_support
+
+type t = {
+  src : string;
+  file : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int; (* offset of beginning of current line *)
+}
+
+let make ?(file = "<string>") src = { src; file; pos = 0; line = 1; bol = 0 }
+
+let loc lx = Loc.make ~file:lx.file ~line:lx.line ~col:(lx.pos - lx.bol + 1)
+
+let peek_char lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let peek_char2 lx =
+  if lx.pos + 1 < String.length lx.src then Some lx.src.[lx.pos + 1] else None
+
+let advance lx =
+  (match peek_char lx with
+  | Some '\n' ->
+    lx.line <- lx.line + 1;
+    lx.bol <- lx.pos + 1
+  | _ -> ());
+  lx.pos <- lx.pos + 1
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '_' || c = '$'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let error lx fmt = Diag.error ~loc:(loc lx) fmt
+
+let rec skip_blanks_and_comments lx =
+  match peek_char lx with
+  | Some (' ' | '\t' | '\r') ->
+    advance lx;
+    skip_blanks_and_comments lx
+  | Some '!' ->
+    while peek_char lx <> None && peek_char lx <> Some '\n' do
+      advance lx
+    done;
+    skip_blanks_and_comments lx
+  | Some '&' ->
+    (* continuation: swallow the '&', any trailing blanks/comment, and the
+       newline, then keep lexing the logical line *)
+    advance lx;
+    let rec to_eol () =
+      match peek_char lx with
+      | Some (' ' | '\t' | '\r') ->
+        advance lx;
+        to_eol ()
+      | Some '!' ->
+        while peek_char lx <> None && peek_char lx <> Some '\n' do
+          advance lx
+        done;
+        to_eol ()
+      | Some '\n' ->
+        advance lx;
+        skip_blanks_and_comments lx
+      | _ -> error lx "expected end of line after continuation '&'"
+    in
+    to_eol ()
+  | _ -> ()
+
+let lex_number lx =
+  let start = lx.pos in
+  while (match peek_char lx with Some c -> is_digit c | None -> false) do
+    advance lx
+  done;
+  let is_real = ref false in
+  (* Fractional part: a '.' followed by a digit (to avoid eating `.and.`) *)
+  (match (peek_char lx, peek_char2 lx) with
+  | Some '.', Some c when is_digit c ->
+    is_real := true;
+    advance lx;
+    while (match peek_char lx with Some c -> is_digit c | None -> false) do
+      advance lx
+    done
+  | Some '.', (Some ('e' | 'E' | 'd' | 'D') | None) ->
+    (* "1." or "1.e5": treat as real unless it starts a dotted operator *)
+    let save = lx.pos in
+    advance lx;
+    (match peek_char lx with
+    | Some c when is_ident_start c ->
+      (* could be `.eq.` etc: only consume if it's an exponent *)
+      let rest = String.sub lx.src lx.pos (min 4 (String.length lx.src - lx.pos)) in
+      let lower = String.lowercase_ascii rest in
+      if String.length lower >= 2 && (lower.[0] = 'e' || lower.[0] = 'd')
+         && (is_digit lower.[1] || lower.[1] = '+' || lower.[1] = '-')
+      then is_real := true
+      else lx.pos <- save
+    | _ -> is_real := true)
+  | Some '.', _ ->
+    is_real := true;
+    advance lx
+  | _ -> ());
+  (* Exponent *)
+  (match peek_char lx with
+  | Some ('e' | 'E' | 'd' | 'D')
+    when match peek_char2 lx with
+      | Some c -> is_digit c || c = '+' || c = '-'
+      | None -> false ->
+    is_real := true;
+    advance lx;
+    (match peek_char lx with Some ('+' | '-') -> advance lx | _ -> ());
+    while (match peek_char lx with Some c -> is_digit c | None -> false) do
+      advance lx
+    done
+  | _ -> ());
+  let text = String.sub lx.src start (lx.pos - start) in
+  if !is_real then
+    let text = String.map (function 'd' | 'D' -> 'e' | c -> c) text in
+    Token.REAL_LIT (float_of_string text)
+  else Token.INT (int_of_string text)
+
+let lex_dotted lx =
+  (* `.eq.` `.and.` `.true.` etc. Position is at the leading '.'. *)
+  let start = lx.pos in
+  advance lx;
+  let word_start = lx.pos in
+  while (match peek_char lx with Some c -> is_ident_start c | None -> false) do
+    advance lx
+  done;
+  let word = String.lowercase_ascii (String.sub lx.src word_start (lx.pos - word_start)) in
+  (match peek_char lx with
+  | Some '.' -> advance lx
+  | _ ->
+    lx.pos <- start;
+    error lx "malformed dotted operator");
+  match word with
+  | "eq" -> Token.EQEQ
+  | "ne" -> Token.NE
+  | "lt" -> Token.LT
+  | "le" -> Token.LE
+  | "gt" -> Token.GT
+  | "ge" -> Token.GE
+  | "and" -> Token.AND
+  | "or" -> Token.OR
+  | "not" -> Token.NOT
+  | "true" -> Token.TRUE
+  | "false" -> Token.FALSE
+  | w -> error lx "unknown dotted operator .%s." w
+
+let next lx : Loc.t * Token.t =
+  skip_blanks_and_comments lx;
+  let l = loc lx in
+  match peek_char lx with
+  | None -> (l, Token.EOF)
+  | Some '\n' | Some ';' ->
+    (* collapse consecutive newlines/semicolons into one NEWLINE *)
+    let rec swallow () =
+      skip_blanks_and_comments lx;
+      match peek_char lx with
+      | Some '\n' | Some ';' ->
+        advance lx;
+        swallow ()
+      | _ -> ()
+    in
+    swallow ();
+    (l, Token.NEWLINE)
+  | Some c when is_digit c -> (l, lex_number lx)
+  | Some '.' -> (
+    match peek_char2 lx with
+    | Some c when is_digit c -> (l, lex_number lx)
+    | _ -> (l, lex_dotted lx))
+  | Some c when is_ident_start c ->
+    let start = lx.pos in
+    while (match peek_char lx with Some c -> is_ident_char c | None -> false) do
+      advance lx
+    done;
+    let word = String.lowercase_ascii (String.sub lx.src start (lx.pos - start)) in
+    if Token.is_keyword word then (l, Token.KW word) else (l, Token.IDENT word)
+  | Some '+' ->
+    advance lx;
+    (l, Token.PLUS)
+  | Some '-' ->
+    advance lx;
+    (l, Token.MINUS)
+  | Some '*' ->
+    advance lx;
+    if peek_char lx = Some '*' then (
+      advance lx;
+      (l, Token.POW))
+    else (l, Token.STAR)
+  | Some '/' ->
+    advance lx;
+    if peek_char lx = Some '=' then (
+      advance lx;
+      (l, Token.NE))
+    else (l, Token.SLASH)
+  | Some '=' ->
+    advance lx;
+    if peek_char lx = Some '=' then (
+      advance lx;
+      (l, Token.EQEQ))
+    else (l, Token.EQ)
+  | Some '<' ->
+    advance lx;
+    if peek_char lx = Some '=' then (
+      advance lx;
+      (l, Token.LE))
+    else if peek_char lx = Some '>' then (
+      advance lx;
+      (l, Token.NE))
+    else (l, Token.LT)
+  | Some '>' ->
+    advance lx;
+    if peek_char lx = Some '=' then (
+      advance lx;
+      (l, Token.GE))
+    else (l, Token.GT)
+  | Some '(' ->
+    advance lx;
+    (l, Token.LPAREN)
+  | Some ')' ->
+    advance lx;
+    (l, Token.RPAREN)
+  | Some ',' ->
+    advance lx;
+    (l, Token.COMMA)
+  | Some ':' ->
+    advance lx;
+    (l, Token.COLON)
+  | Some c -> error lx "unexpected character %C" c
+
+let tokenize ?file src =
+  let lx = make ?file src in
+  let rec loop acc =
+    let l, t = next lx in
+    match t with Token.EOF -> List.rev ((l, t) :: acc) | _ -> loop ((l, t) :: acc)
+  in
+  loop []

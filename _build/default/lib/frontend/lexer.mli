@@ -1,0 +1,19 @@
+(** Hand-written lexer for mini-Fortran D.
+
+    Free-form source: case-insensitive keywords and identifiers, [!]
+    comments to end of line, [&] at end of line continues the statement,
+    [;] acts as a statement separator.  Identifiers may contain [$]
+    (compiler-generated names like [my$p] are legal source).  Dotted
+    operators ([.eq.], [.and.], [.true.], ...) and symbolic spellings
+    ([==], [<=], [/=], [<>]) are both accepted. *)
+
+type t
+
+val make : ?file:string -> string -> t
+
+val next : t -> Fd_support.Loc.t * Token.t
+(** Next token; returns [EOF] at end of input.
+    @raise Fd_support.Diag.Compile_error on malformed input. *)
+
+val tokenize : ?file:string -> string -> (Fd_support.Loc.t * Token.t) list
+(** The whole token stream, ending with [EOF]. *)

@@ -1,0 +1,13 @@
+(** Recursive-descent parser for mini-Fortran D.
+
+    One statement per logical line; [ident(args)] parses as {!Ast.Ref}
+    and {!Sema} later rewrites intrinsic applications to {!Ast.Funcall};
+    [elseif] chains desugar to nested IFs.  Statement ids are assigned in
+    textual order (outer statements before their bodies). *)
+
+val parse : ?file:string -> string -> Ast.program
+(** Parse a whole source file (one or more program units).
+    @raise Fd_support.Diag.Compile_error on syntax errors. *)
+
+val parse_unit : ?file:string -> string -> Ast.punit
+(** Parse exactly one program unit. *)

@@ -1,0 +1,433 @@
+(* Semantic analysis: builds per-unit symbol tables, resolves
+   `ident(args)` into array references vs. intrinsic applications, folds
+   PARAMETER constants, and type/shape-checks the whole program. *)
+
+open Fd_support
+
+let intrinsics = [ "abs"; "max"; "min"; "mod"; "sqrt"; "float"; "int"; "sign" ]
+
+let is_intrinsic name = List.mem name intrinsics
+
+type checked_unit = { unit_ : Ast.punit; symtab : Symtab.t }
+
+type checked_program = {
+  units : checked_unit list;
+  main : string;  (* name of the main program unit *)
+}
+
+let find_unit cp name =
+  List.find_opt (fun cu -> String.equal cu.unit_.Ast.uname name) cp.units
+
+let find_unit_exn cp name =
+  match find_unit cp name with
+  | Some cu -> cu
+  | None -> Diag.error "no program unit named %s" name
+
+(* --- Constant folding over PARAMETER bindings ----------------------- *)
+
+let rec const_eval_int symtab (e : Ast.expr) : int option =
+  match e with
+  | Ast.Int_const n -> Some n
+  | Ast.Var v -> Symtab.param_value symtab v
+  | Ast.Un (Ast.Neg, a) -> Option.map (fun n -> -n) (const_eval_int symtab a)
+  | Ast.Bin (op, a, b) -> (
+    match (const_eval_int symtab a, const_eval_int symtab b) with
+    | Some x, Some y -> (
+      match op with
+      | Ast.Add -> Some (x + y)
+      | Ast.Sub -> Some (x - y)
+      | Ast.Mul -> Some (x * y)
+      | Ast.Div -> if y = 0 then None else Some (x / y)
+      | Ast.Pow ->
+        if y < 0 then None
+        else
+          let rec pow acc n = if n = 0 then acc else pow (acc * x) (n - 1) in
+          Some (pow 1 y)
+      | _ -> None)
+    | _ -> None)
+  | Ast.Funcall ("max", args) | Ast.Ref ("max", args) ->
+    let vals = List.map (const_eval_int symtab) args in
+    if List.for_all Option.is_some vals then
+      Some (List.fold_left max min_int (List.map Option.get vals))
+    else None
+  | Ast.Funcall ("min", args) | Ast.Ref ("min", args) ->
+    let vals = List.map (const_eval_int symtab) args in
+    if List.for_all Option.is_some vals then
+      Some (List.fold_left min max_int (List.map Option.get vals))
+    else None
+  | _ -> None
+
+let const_eval_int_exn symtab loc e =
+  match const_eval_int symtab e with
+  | Some n -> n
+  | None ->
+    Diag.error ~loc "expression must be a compile-time integer constant: %s"
+      (Ast_printer.expr_to_string e)
+
+(* --- Symbol table construction -------------------------------------- *)
+
+let build_symtab (u : Ast.punit) : Symtab.t =
+  let symtab = Symtab.create ~unit_name:u.uname ~formal_order:u.formals in
+  List.iter
+    (fun decl ->
+      match decl with
+      | Ast.Dcl_param bindings ->
+        List.iter
+          (fun (name, value) ->
+            let v = const_eval_int_exn symtab u.uloc value in
+            Symtab.add symtab name (Symtab.Param v))
+          bindings
+      | Ast.Dcl_type (ty, declarators) ->
+        List.iter
+          (fun (name, dims) ->
+            match dims with
+            | [] -> Symtab.add symtab name (Symtab.Scalar ty)
+            | _ ->
+              let dims =
+                List.map
+                  (fun { Ast.dlo; dhi } ->
+                    ( const_eval_int_exn symtab u.uloc dlo,
+                      const_eval_int_exn symtab u.uloc dhi ))
+                  dims
+              in
+              Symtab.add symtab name (Symtab.Array { elt = ty; dims }))
+          declarators
+      | Ast.Dcl_decomposition declarators ->
+        List.iter
+          (fun (name, dims) ->
+            let dims =
+              List.map
+                (fun { Ast.dlo; dhi } ->
+                  ( const_eval_int_exn symtab u.uloc dlo,
+                    const_eval_int_exn symtab u.uloc dhi ))
+                dims
+            in
+            Symtab.add symtab name (Symtab.Decomposition dims))
+          declarators
+      | Ast.Dcl_common _ -> ())
+    u.decls;
+  (* second pass: COMMON membership (members may be typed before or after
+     the COMMON statement in the source, but both are declarations) *)
+  List.iter
+    (fun decl ->
+      match decl with
+      | Ast.Dcl_common (block, names) ->
+        List.iter
+          (fun name ->
+            (match Symtab.find symtab name with
+            | Some (Symtab.Scalar _ | Symtab.Array _) -> ()
+            | Some _ ->
+              Diag.error ~loc:u.uloc "COMMON member %s of /%s/ must be a variable"
+                name block
+            | None ->
+              Diag.error ~loc:u.uloc "COMMON member %s of /%s/ is not declared" name
+                block);
+            if List.mem name u.formals then
+              Diag.error ~loc:u.uloc "formal %s cannot be in COMMON /%s/" name block;
+            Symtab.set_common symtab name block)
+          names
+      | _ -> ())
+    u.decls;
+  symtab
+
+(* --- Expression resolution and typing ------------------------------- *)
+
+type ty = Tint | Treal | Tlogical
+
+let dtype_ty = function Ast.Real -> Treal | Ast.Integer -> Tint | Ast.Logical -> Tlogical
+
+let ty_name = function Tint -> "integer" | Treal -> "real" | Tlogical -> "logical"
+
+(* Loop index variables are implicitly integer if not declared. *)
+type env = { symtab : Symtab.t; mutable loop_vars : string list; loc : Loc.t }
+
+let rec resolve_expr env (e : Ast.expr) : Ast.expr * ty =
+  match e with
+  | Ast.Int_const _ -> (e, Tint)
+  | Ast.Real_const _ -> (e, Treal)
+  | Ast.Logical_const _ -> (e, Tlogical)
+  | Ast.Var v -> (
+    if List.mem v env.loop_vars then (e, Tint)
+    else
+      match Symtab.find env.symtab v with
+      | Some (Symtab.Scalar ty) -> (e, dtype_ty ty)
+      | Some (Symtab.Param _) -> (e, Tint)
+      | Some (Symtab.Array _) ->
+        Diag.error ~loc:env.loc "whole-array reference %s not allowed here" v
+      | Some (Symtab.Decomposition _) ->
+        Diag.error ~loc:env.loc "decomposition %s used as a value" v
+      | None ->
+        (* implicit typing: integer i-n, real otherwise (Fortran default) *)
+        if String.length v > 0 && v.[0] >= 'i' && v.[0] <= 'n' then (e, Tint)
+        else (e, Treal))
+  | Ast.Ref (name, args) | Ast.Funcall (name, args) -> (
+    match Symtab.find env.symtab name with
+    | Some (Symtab.Array { elt; dims }) ->
+      if List.length args <> List.length dims then
+        Diag.error ~loc:env.loc "array %s has rank %d, referenced with %d subscripts"
+          name (List.length dims) (List.length args);
+      let args =
+        List.map
+          (fun a ->
+            let a', ty = resolve_expr env a in
+            if ty <> Tint then
+              Diag.error ~loc:env.loc "subscript of %s must be integer" name;
+            a')
+          args
+      in
+      (Ast.Ref (name, args), dtype_ty elt)
+    | Some _ -> Diag.error ~loc:env.loc "%s is not an array or intrinsic" name
+    | None ->
+      if is_intrinsic name then resolve_intrinsic env name args
+      else Diag.error ~loc:env.loc "unknown array or intrinsic %s" name)
+  | Ast.Bin (op, a, b) -> (
+    let a', ta = resolve_expr env a in
+    let b', tb = resolve_expr env b in
+    match op with
+    | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Pow ->
+      if ta = Tlogical || tb = Tlogical then
+        Diag.error ~loc:env.loc "arithmetic on logical operands";
+      (Ast.Bin (op, a', b'), if ta = Treal || tb = Treal then Treal else Tint)
+    | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+      if ta = Tlogical || tb = Tlogical then
+        Diag.error ~loc:env.loc "comparison of logical operands";
+      (Ast.Bin (op, a', b'), Tlogical)
+    | Ast.And | Ast.Or ->
+      if ta <> Tlogical || tb <> Tlogical then
+        Diag.error ~loc:env.loc "logical operator on %s/%s operands" (ty_name ta)
+          (ty_name tb);
+      (Ast.Bin (op, a', b'), Tlogical))
+  | Ast.Un (Ast.Neg, a) ->
+    let a', ta = resolve_expr env a in
+    if ta = Tlogical then Diag.error ~loc:env.loc "negation of logical operand";
+    (Ast.Un (Ast.Neg, a'), ta)
+  | Ast.Un (Ast.Not, a) ->
+    let a', ta = resolve_expr env a in
+    if ta <> Tlogical then Diag.error ~loc:env.loc ".not. on %s operand" (ty_name ta);
+    (Ast.Un (Ast.Not, a'), Tlogical)
+
+and resolve_intrinsic env name args =
+  let args_typed = List.map (resolve_expr env) args in
+  let args' = List.map fst args_typed in
+  let tys = List.map snd args_typed in
+  let arity n =
+    if List.length args <> n then
+      Diag.error ~loc:env.loc "intrinsic %s expects %d argument(s)" name n
+  in
+  let result_ty =
+    match name with
+    | "abs" ->
+      arity 1;
+      List.hd tys
+    | "sqrt" ->
+      arity 1;
+      Treal
+    | "mod" ->
+      arity 2;
+      if List.for_all (fun t -> t = Tint) tys then Tint else Treal
+    | "max" | "min" ->
+      if List.length args < 2 then
+        Diag.error ~loc:env.loc "intrinsic %s expects >= 2 arguments" name;
+      if List.exists (fun t -> t = Treal) tys then Treal else Tint
+    | "float" ->
+      arity 1;
+      Treal
+    | "int" ->
+      arity 1;
+      Tint
+    | "sign" ->
+      arity 2;
+      List.hd tys
+    | _ -> Diag.error ~loc:env.loc "unknown intrinsic %s" name
+  in
+  if List.exists (fun t -> t = Tlogical) tys then
+    Diag.error ~loc:env.loc "intrinsic %s applied to logical argument" name;
+  (Ast.Funcall (name, args'), result_ty)
+
+(* --- Statement resolution -------------------------------------------- *)
+
+let rec resolve_stmt all_units env (s : Ast.stmt) : Ast.stmt =
+  let loc = s.loc in
+  let env = { env with loc } in
+  let kind =
+    match s.kind with
+    | Ast.Assign (lhs, rhs) -> (
+      let rhs', rty = resolve_expr env rhs in
+      match lhs with
+      | Ast.Var v -> (
+        if List.mem v env.loop_vars then
+          Diag.error ~loc "cannot assign to active loop index %s" v;
+        match Symtab.find env.symtab v with
+        | Some (Symtab.Scalar ty) ->
+          let lty = dtype_ty ty in
+          if (lty = Tlogical) <> (rty = Tlogical) then
+            Diag.error ~loc "type mismatch assigning %s to %s" (ty_name rty) v;
+          Ast.Assign (lhs, rhs')
+        | Some (Symtab.Param _) -> Diag.error ~loc "cannot assign to parameter %s" v
+        | Some (Symtab.Array _) -> Diag.error ~loc "cannot assign to whole array %s" v
+        | Some (Symtab.Decomposition _) ->
+          Diag.error ~loc "cannot assign to decomposition %s" v
+        | None ->
+          (* implicitly typed scalar *)
+          Ast.Assign (lhs, rhs'))
+      | Ast.Ref _ | Ast.Funcall _ -> (
+        let lhs', lty = resolve_expr env lhs in
+        match lhs' with
+        | Ast.Ref _ ->
+          if (lty = Tlogical) <> (rty = Tlogical) then
+            Diag.error ~loc "type mismatch in array assignment";
+          Ast.Assign (lhs', rhs')
+        | _ -> Diag.error ~loc "left-hand side must be a variable or array element")
+      | _ -> Diag.error ~loc "left-hand side must be a variable or array element")
+    | Ast.Do d ->
+      let lo', tlo = resolve_expr env d.lo in
+      let hi', thi = resolve_expr env d.hi in
+      let step' =
+        Option.map
+          (fun e ->
+            let e', t = resolve_expr env e in
+            if t <> Tint then Diag.error ~loc "DO step must be integer";
+            e')
+          d.step
+      in
+      if tlo <> Tint || thi <> Tint then Diag.error ~loc "DO bounds must be integer";
+      (match Symtab.find env.symtab d.var with
+      | None | Some (Symtab.Scalar Ast.Integer) -> ()
+      | Some _ -> Diag.error ~loc "DO index %s must be an integer scalar" d.var);
+      if List.mem d.var env.loop_vars then
+        Diag.error ~loc "loop index %s reused in nested loop" d.var;
+      let saved = env.loop_vars in
+      env.loop_vars <- d.var :: saved;
+      let body = List.map (resolve_stmt all_units env) d.body in
+      env.loop_vars <- saved;
+      Ast.Do { d with lo = lo'; hi = hi'; step = step'; body }
+    | Ast.If i ->
+      let cond', tc = resolve_expr env i.cond in
+      if tc <> Tlogical then Diag.error ~loc "IF condition must be logical";
+      Ast.If
+        { cond = cond';
+          then_ = List.map (resolve_stmt all_units env) i.then_;
+          else_ = List.map (resolve_stmt all_units env) i.else_ }
+    | Ast.Call (name, args) -> (
+      match List.find_opt (fun u -> String.equal u.Ast.uname name) all_units with
+      | None -> Diag.error ~loc "call to unknown subroutine %s" name
+      | Some callee ->
+        if callee.Ast.ukind <> Ast.Subroutine then
+          Diag.error ~loc "%s is not a subroutine" name;
+        if List.length args <> List.length callee.Ast.formals then
+          Diag.error ~loc "subroutine %s expects %d arguments, got %d" name
+            (List.length callee.Ast.formals) (List.length args);
+        let args' =
+          List.map
+            (fun a ->
+              match a with
+              | Ast.Var v when Symtab.is_array env.symtab v -> a (* whole array *)
+              | _ -> fst (resolve_expr env a))
+            args
+        in
+        Ast.Call (name, args'))
+    | Ast.Align { array; target; subs } ->
+      if not (Symtab.is_array env.symtab array) then
+        Diag.error ~loc "ALIGN of non-array %s" array;
+      if
+        not
+          (Symtab.is_decomposition env.symtab target
+          || Symtab.is_array env.symtab target)
+      then Diag.error ~loc "ALIGN target %s is not a decomposition or array" target;
+      if List.length subs <> Symtab.rank env.symtab target then
+        Diag.error ~loc "ALIGN target %s has rank %d" target
+          (Symtab.rank env.symtab target);
+      s.kind
+    | Ast.Distribute { decomp; dists } ->
+      if not (Symtab.is_decomposition env.symtab decomp || Symtab.is_array env.symtab decomp)
+      then Diag.error ~loc "DISTRIBUTE of unknown decomposition or array %s" decomp;
+      if List.length dists <> Symtab.rank env.symtab decomp then
+        Diag.error ~loc "DISTRIBUTE %s has rank %d" decomp
+          (Symtab.rank env.symtab decomp);
+      s.kind
+    | Ast.Return -> s.kind
+    | Ast.Print args -> Ast.Print (List.map (fun a -> fst (resolve_expr env a)) args)
+  in
+  { s with kind }
+
+let check_unit all_units (u : Ast.punit) : checked_unit =
+  let symtab = build_symtab u in
+  (* every formal must be declared *)
+  List.iter
+    (fun f ->
+      match Symtab.find symtab f with
+      | Some (Symtab.Scalar _ | Symtab.Array _) -> ()
+      | Some _ -> Diag.error ~loc:u.uloc "formal %s of %s has a bad declaration" f u.uname
+      | None -> Diag.error ~loc:u.uloc "formal %s of %s is not declared" f u.uname)
+    u.formals;
+  let env = { symtab; loop_vars = []; loc = u.uloc } in
+  let body = List.map (resolve_stmt all_units env) u.body in
+  { unit_ = { u with body }; symtab }
+
+let check (p : Ast.program) : checked_program =
+  let names = List.map (fun u -> u.Ast.uname) p in
+  let dup = Listx.dedup ~equal:String.equal names in
+  if List.length dup <> List.length names then
+    Diag.error "duplicate program unit names";
+  let mains = List.filter (fun u -> u.Ast.ukind = Ast.Main) p in
+  let main =
+    match mains with
+    | [ m ] -> m.Ast.uname
+    | [] -> Diag.error "program has no main unit"
+    | _ -> Diag.error "program has multiple main units"
+  in
+  let units = List.map (check_unit p) p in
+  (* COMMON blocks must be declared identically in every unit: identical
+     member names, types and shapes.  This strict layout rule is what
+     makes storage trivially shareable by name (see docs/LANGUAGE.md). *)
+  let block_signature (cu : checked_unit) block =
+    List.filter_map
+      (fun (name, b) ->
+        if String.equal b block then
+          Some
+            (match Symtab.find_exn cu.symtab name with
+            | Symtab.Scalar ty -> Fmt.str "%s:%s" name (Ast_printer.dtype_name ty)
+            | Symtab.Array { elt; dims } ->
+              Fmt.str "%s:%s(%s)" name (Ast_printer.dtype_name elt)
+                (String.concat ","
+                   (List.map (fun (a, b) -> Fmt.str "%d..%d" a b) dims))
+            | _ -> assert false)
+        else None)
+      (Symtab.commons cu.symtab)
+    |> String.concat ";"
+  in
+  let all_blocks =
+    List.concat_map (fun (cu : checked_unit) -> List.map snd (Symtab.commons cu.symtab)) units
+    |> List.sort_uniq compare
+  in
+  List.iter
+    (fun block ->
+      let sigs =
+        List.filter_map
+          (fun (cu : checked_unit) ->
+            match block_signature cu block with
+            | "" -> None
+            | s -> Some (cu.unit_.Ast.uname, s))
+          units
+      in
+      match sigs with
+      | [] -> ()
+      | (u0, s0) :: rest ->
+        List.iter
+          (fun (u1, s1) ->
+            if not (String.equal s0 s1) then
+              Diag.error
+                "COMMON /%s/ is declared differently in %s and %s (members must match exactly)"
+                block u0 u1)
+          rest;
+        (* every unit that uses the block must declare it; and since the
+           compiler propagates decompositions through declared commons
+           only, require all units to declare it *)
+        if List.length sigs <> List.length units then
+          Diag.error
+            "COMMON /%s/ must be declared in every program unit (declared in %d of %d)"
+            block (List.length sigs) (List.length units))
+    all_blocks;
+  { units; main }
+
+let check_source ?file src = check (Parser.parse ?file src)

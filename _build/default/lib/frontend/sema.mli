@@ -1,0 +1,35 @@
+(** Semantic analysis: builds per-unit symbol tables, resolves
+    [ident(args)] into array references vs. intrinsic applications, folds
+    PARAMETER constants, and type/shape-checks the whole program.
+
+    All checks raise {!Fd_support.Diag.Compile_error} with a source
+    location on failure. *)
+
+val intrinsics : string list
+(** Names usable as intrinsic functions ([abs], [max], [min], [mod],
+    [sqrt], [float], [int], [sign]). *)
+
+val is_intrinsic : string -> bool
+
+type checked_unit = { unit_ : Ast.punit; symtab : Symtab.t }
+
+type checked_program = {
+  units : checked_unit list;
+  main : string;  (** name of the main program unit *)
+}
+
+val find_unit : checked_program -> string -> checked_unit option
+val find_unit_exn : checked_program -> string -> checked_unit
+
+val const_eval_int : Symtab.t -> Ast.expr -> int option
+(** Evaluate a compile-time integer constant expression (PARAMETER names
+    resolve through the symbol table). *)
+
+val check_unit : Ast.punit list -> Ast.punit -> checked_unit
+(** Check one unit in the context of the whole program (for CALL
+    signature checking). *)
+
+val check : Ast.program -> checked_program
+
+val check_source : ?file:string -> string -> checked_program
+(** Parse and check in one step. *)

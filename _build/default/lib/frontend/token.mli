@@ -1,0 +1,24 @@
+(** Lexical tokens for mini-Fortran D. *)
+
+type t =
+  | INT of int
+  | REAL_LIT of float
+  | IDENT of string  (** identifier, lower-cased *)
+  | KW of string     (** recognized keyword, lower-cased *)
+  | PLUS | MINUS | STAR | SLASH | POW
+  | EQ
+  | EQEQ | NE | LT | LE | GT | GE
+  | AND | OR | NOT
+  | TRUE | FALSE
+  | LPAREN | RPAREN
+  | COMMA | COLON
+  | NEWLINE  (** statement separator; consecutive separators collapse *)
+  | EOF
+
+val keywords : string list
+
+val is_keyword : string -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

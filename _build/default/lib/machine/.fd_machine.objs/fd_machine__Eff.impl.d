@@ -1,0 +1,1 @@
+lib/machine/eff.ml: Effect Layout Message Storage Value

@@ -1,0 +1,1 @@
+lib/machine/eff.mli: Effect Layout Message Storage Value

@@ -1,0 +1,1 @@
+lib/machine/gather.ml: Array Diag Fd_support Float Fmt Hashtbl Interp Layout List Seq_interp Storage String Value

@@ -1,0 +1,1 @@
+lib/machine/gather.mli: Format Interp Seq_interp Storage Value

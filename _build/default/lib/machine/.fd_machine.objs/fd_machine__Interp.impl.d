@@ -1,0 +1,1 @@
+lib/machine/interp.ml: Array Ast Config Diag Eff Fd_frontend Fd_support Float Hashtbl Layout List Message Node Stats Storage String Value

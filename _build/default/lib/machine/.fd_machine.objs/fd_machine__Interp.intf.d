@@ -1,0 +1,1 @@
+lib/machine/interp.mli: Ast Config Fd_frontend Hashtbl Node Stats Storage Value

@@ -1,0 +1,1 @@
+lib/machine/layout.ml: Array Fd_support Fmt Iset List Triplet

@@ -1,0 +1,1 @@
+lib/machine/message.ml: Fmt List String Value

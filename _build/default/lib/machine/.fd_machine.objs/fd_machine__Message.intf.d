@@ -1,0 +1,1 @@
+lib/machine/message.mli: Format Value

@@ -1,0 +1,1 @@
+lib/machine/node.ml: Ast Ast_printer Fd_frontend Fmt Layout List Option String

@@ -1,0 +1,1 @@
+lib/machine/node.mli: Ast Fd_frontend Format Layout

@@ -1,0 +1,1 @@
+lib/machine/scheduler.ml: Array Config Eff Effect Fd_support Float Fmt Hashtbl Interp Iset Layout List Message Node Queue Stats Storage String

@@ -1,0 +1,1 @@
+lib/machine/scheduler.mli: Config Interp Node Stats

@@ -1,0 +1,1 @@
+lib/machine/seq_interp.ml: Array Ast Config Diag Fd_frontend Fd_support Float Hashtbl Interp Layout List Sema Storage String Symtab Value

@@ -1,0 +1,1 @@
+lib/machine/seq_interp.mli: Config Fd_frontend Sema Storage

@@ -1,0 +1,1 @@
+lib/machine/storage.ml: Array Ast Bytes Diag Fd_frontend Fd_support Iset Layout Value

@@ -1,0 +1,1 @@
+lib/machine/storage.mli: Ast Bytes Fd_frontend Fd_support Iset Layout Value

@@ -1,0 +1,1 @@
+lib/machine/value.ml: Ast Diag Fd_frontend Fd_support Float Fmt

@@ -1,0 +1,1 @@
+lib/machine/value.mli: Ast Fd_frontend Format

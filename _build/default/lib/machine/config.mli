@@ -1,0 +1,35 @@
+(** Machine model for the MIMD distributed-memory simulator.
+
+    The default numbers approximate the Intel iPSC/860 the paper's group
+    reported against: ~75 us message startup, ~0.4 us/byte, a few
+    hundredths of a microsecond per operation.  Times are in seconds. *)
+
+type t = {
+  nprocs : int;
+  alpha : float;        (** message startup cost *)
+  beta : float;         (** per-byte transfer cost *)
+  flop : float;         (** per arithmetic-operation cost *)
+  mem_op : float;       (** per load/store cost *)
+  word_bytes : int;     (** bytes per REAL/INTEGER element *)
+  tree_collectives : bool;  (** log-tree broadcast vs sequential sends *)
+  strict_validity : bool;
+      (** abort on reads of non-owned, never-received elements (catches
+          missing communication even when stale values agree) *)
+  record_trace : bool;
+      (** record a communication-event timeline in {!Stats} *)
+}
+
+val ipsc860 : ?nprocs:int -> unit -> t
+
+val make :
+  ?alpha:float -> ?beta:float -> ?flop:float -> ?mem_op:float ->
+  ?word_bytes:int -> ?tree_collectives:bool -> ?strict_validity:bool ->
+  ?record_trace:bool -> nprocs:int -> unit -> t
+
+val message_cost : t -> int -> float
+(** [alpha + beta * bytes]. *)
+
+val bcast_cost : t -> int -> float
+(** One-to-all cost: log-tree stages when enabled, sequential otherwise. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,411 @@
+(* Interpreter for SPMD node programs, one instance per logical processor.
+   Performs {!Eff} effects for time, messages, collectives, and output;
+   the {!Scheduler} coordinates the processor ensemble. *)
+
+open Fd_support
+open Fd_frontend
+
+exception Return_signal
+
+type binding =
+  | Bscalar of Value.t ref
+  | Barray of Storage.array_obj
+
+type frame = (string, binding) Hashtbl.t
+
+type t = {
+  proc : int;
+  config : Config.t;
+  prog : Node.program;
+  stats : Stats.t;
+  globals : frame;  (* COMMON storage, visible in every procedure *)
+  mutable frames : frame list;
+  mutable pending : float;  (* accumulated compute cost not yet ticked *)
+}
+
+let create ~proc ~config ~stats prog =
+  { proc; config; prog; stats; globals = Hashtbl.create 8; frames = [];
+    pending = 0.0 }
+
+let current_frame t =
+  match t.frames with
+  | f :: _ -> f
+  | [] -> Diag.error "interpreter has no active frame"
+
+let cost_flop t =
+  t.pending <- t.pending +. t.config.Config.flop;
+  t.stats.Stats.flops <- t.stats.Stats.flops + 1
+
+let cost_mem t =
+  t.pending <- t.pending +. t.config.Config.mem_op;
+  t.stats.Stats.mem_ops <- t.stats.Stats.mem_ops + 1
+
+let flush_ticks t =
+  if t.pending > 0.0 then begin
+    Eff.tick t.pending;
+    t.pending <- 0.0
+  end
+
+let implicit_zero name =
+  if String.length name > 0 && name.[0] >= 'i' && name.[0] <= 'n' then Value.Vint 0
+  else Value.Vreal 0.0
+
+let lookup t name : binding =
+  let frame = current_frame t in
+  match Hashtbl.find_opt frame name with
+  | Some b -> b
+  | None -> (
+    match Hashtbl.find_opt t.globals name with
+    | Some b -> b
+    | None ->
+      (* implicitly typed scalar, created on demand (Fortran style) *)
+      let b = Bscalar (ref (implicit_zero name)) in
+      Hashtbl.replace frame name b;
+      b)
+
+let scalar_cell t name =
+  match lookup t name with
+  | Bscalar r -> r
+  | Barray _ -> Diag.error "array %s used as a scalar" name
+
+let array_obj t name =
+  match lookup t name with
+  | Barray o -> o
+  | Bscalar _ -> Diag.error "scalar %s used as an array" name
+
+(* --- Expression evaluation ------------------------------------------- *)
+
+let rec eval t (e : Ast.expr) : Value.t =
+  match e with
+  | Ast.Int_const n -> Value.Vint n
+  | Ast.Real_const f -> Value.Vreal f
+  | Ast.Logical_const b -> Value.Vbool b
+  | Ast.Var v -> (
+    match lookup t v with
+    | Bscalar r -> !r
+    | Barray _ -> Diag.error "whole array %s used as a value" v)
+  | Ast.Ref (name, subs) ->
+    let obj = array_obj t name in
+    let idx = Array.of_list (List.map (fun s -> Value.to_int (eval t s)) subs) in
+    cost_mem t;
+    Storage.read ~strict:t.config.Config.strict_validity obj idx
+  | Ast.Bin (op, a, b) -> (
+    (* logical operators short-circuit; others strict *)
+    match op with
+    | Ast.And ->
+      let va = Value.to_bool (eval t a) in
+      cost_flop t;
+      if not va then Value.Vbool false else Value.Vbool (Value.to_bool (eval t b))
+    | Ast.Or ->
+      let va = Value.to_bool (eval t a) in
+      cost_flop t;
+      if va then Value.Vbool true else Value.Vbool (Value.to_bool (eval t b))
+    | _ ->
+      let va = eval t a and vb = eval t b in
+      cost_flop t;
+      binop op va vb)
+  | Ast.Un (Ast.Neg, a) ->
+    cost_flop t;
+    Value.sub (Value.Vint 0) (eval t a)
+  | Ast.Un (Ast.Not, a) ->
+    cost_flop t;
+    Value.Vbool (not (Value.to_bool (eval t a)))
+  | Ast.Funcall (name, args) -> intrinsic t name args
+
+and binop op a b : Value.t =
+  match op with
+  | Ast.Add -> Value.add a b
+  | Ast.Sub -> Value.sub a b
+  | Ast.Mul -> Value.mul a b
+  | Ast.Div -> Value.div a b
+  | Ast.Pow -> Value.pow a b
+  | Ast.Eq -> Value.Vbool (Value.equal a b)
+  | Ast.Ne -> Value.Vbool (not (Value.equal a b))
+  | Ast.Lt -> Value.Vbool (Value.compare_num a b < 0)
+  | Ast.Le -> Value.Vbool (Value.compare_num a b <= 0)
+  | Ast.Gt -> Value.Vbool (Value.compare_num a b > 0)
+  | Ast.Ge -> Value.Vbool (Value.compare_num a b >= 0)
+  | Ast.And | Ast.Or -> assert false
+
+and intrinsic t name args : Value.t =
+  cost_flop t;
+  let vals () = List.map (eval t) args in
+  match (name, args) with
+  | "myproc", [] -> Value.Vint t.proc
+  | "nprocs", [] -> Value.Vint t.config.Config.nprocs
+  | "tab$", sel :: consts ->
+    (* compile-time table select: tab$(i, c0, c1, ...) = c_i *)
+    let i = Value.to_int (eval t sel) in
+    if i < 0 || i >= List.length consts then
+      Diag.error "tab$ index %d out of range" i
+    else eval t (List.nth consts i)
+  | "owner$", Ast.Var arr :: subs ->
+    (* run-time resolution: owner of an element under the array's current
+       layout; replicated arrays are owned locally *)
+    let obj = array_obj t arr in
+    let layout = obj.Storage.layout in
+    (match layout.Layout.dist_dim with
+    | None -> Value.Vint t.proc
+    | Some d ->
+      let idx = Value.to_int (eval t (List.nth subs d)) in
+      Value.Vint (Layout.owner_of layout ~nprocs:t.config.Config.nprocs idx))
+  | "abs", [ a ] -> (
+    match eval t a with
+    | Value.Vint i -> Value.Vint (abs i)
+    | Value.Vreal f -> Value.Vreal (Float.abs f)
+    | Value.Vbool _ -> Diag.error "abs of logical")
+  | "sqrt", [ a ] -> Value.Vreal (sqrt (Value.to_float (eval t a)))
+  | "mod", [ a; b ] -> (
+    match (eval t a, eval t b) with
+    | Value.Vint x, Value.Vint y ->
+      if y = 0 then Diag.error "mod by zero" else Value.Vint (x mod y)
+    | x, y -> Value.Vreal (Float.rem (Value.to_float x) (Value.to_float y)))
+  | "max", _ :: _ :: _ -> (
+    match vals () with
+    | v :: rest ->
+      List.fold_left (fun acc x -> if Value.compare_num x acc > 0 then x else acc) v rest
+    | [] -> assert false)
+  | "min", _ :: _ :: _ -> (
+    match vals () with
+    | v :: rest ->
+      List.fold_left (fun acc x -> if Value.compare_num x acc < 0 then x else acc) v rest
+    | [] -> assert false)
+  | "float", [ a ] -> Value.Vreal (Value.to_float (eval t a))
+  | "int", [ a ] -> Value.Vint (Value.to_int (eval t a))
+  | "sign", [ a; b ] -> (
+    let m = Value.to_float (eval t a) and s = Value.to_float (eval t b) in
+    let r = if s >= 0.0 then Float.abs m else -.Float.abs m in
+    match eval t a with Value.Vint _ -> Value.Vint (int_of_float r) | _ -> Value.Vreal r)
+  | _ ->
+    Diag.error "unknown intrinsic %s/%d in node program" name (List.length args)
+
+(* --- Sections --------------------------------------------------------- *)
+
+let eval_section t (section : Node.section) : Fd_support.Triplet.t list =
+  List.map
+    (fun (lo, hi, step) ->
+      let l = Value.to_int (eval t lo)
+      and h = Value.to_int (eval t hi)
+      and s = Value.to_int (eval t step) in
+      if s < 1 then Diag.error "section step must be positive";
+      Fd_support.Triplet.make ~lo:l ~hi:h ~step:s)
+    section
+
+let iter_section (triplets : Fd_support.Triplet.t list) (f : int array -> unit) =
+  let dims = Array.of_list triplets in
+  let r = Array.length dims in
+  let idx = Array.make r 0 in
+  let rec walk d =
+    if d = r then f (Array.copy idx)
+    else
+      List.iter
+        (fun x ->
+          idx.(d) <- x;
+          walk (d + 1))
+        (Fd_support.Triplet.to_list dims.(d))
+  in
+  if not (Array.exists Fd_support.Triplet.is_empty dims) then walk 0
+
+let read_section t obj triplets : (int array * Value.t) list =
+  let out = ref [] in
+  iter_section triplets (fun idx ->
+      cost_mem t;
+      out := (idx, Storage.read ~strict:t.config.Config.strict_validity obj idx) :: !out);
+  List.rev !out
+
+(* --- Statements ------------------------------------------------------- *)
+
+let rec exec t (s : Node.nstmt) : unit =
+  match s with
+  | Node.N_assign (lhs, rhs) -> (
+    let v = eval t rhs in
+    match lhs with
+    | Ast.Var name ->
+      cost_mem t;
+      let cell = scalar_cell t name in
+      (* preserve declared integer-ness of the cell *)
+      cell :=
+        (match !cell with
+        | Value.Vint _ -> Value.Vint (Value.to_int v)
+        | Value.Vreal _ -> Value.Vreal (Value.to_float v)
+        | Value.Vbool _ -> v)
+    | Ast.Ref (name, subs) ->
+      let obj = array_obj t name in
+      let idx = Array.of_list (List.map (fun e -> Value.to_int (eval t e)) subs) in
+      cost_mem t;
+      let v =
+        match obj.Storage.elt with
+        | Ast.Real -> Value.Vreal (Value.to_float v)
+        | Ast.Integer -> Value.Vint (Value.to_int v)
+        | Ast.Logical -> v
+      in
+      Storage.write obj idx v
+    | _ -> Diag.error "bad assignment target in node program")
+  | Node.N_do { var; lo; hi; step; body } ->
+    let l = Value.to_int (eval t lo) and h = Value.to_int (eval t hi) in
+    let st = match step with None -> 1 | Some e -> Value.to_int (eval t e) in
+    if st = 0 then Diag.error "zero DO step";
+    let cell = scalar_cell t var in
+    let continue_ x = if st > 0 then x <= h else x >= h in
+    let x = ref l in
+    while continue_ !x do
+      cell := Value.Vint !x;
+      cost_flop t;
+      List.iter (exec t) body;
+      x := !x + st
+    done
+  | Node.N_if { cond; then_; else_ } ->
+    if Value.to_bool (eval t cond) then List.iter (exec t) then_
+    else List.iter (exec t) else_
+  | Node.N_call (name, args) -> call t name args
+  | Node.N_send { dest; parts; tag } ->
+    let d = Value.to_int (eval t dest) in
+    let elems =
+      List.concat_map
+        (fun (array, section) ->
+          let obj = array_obj t array in
+          let triplets = eval_section t section in
+          List.map (fun (idx, v) -> (array, idx, v)) (read_section t obj triplets))
+        parts
+    in
+    let bytes = List.length elems * t.config.Config.word_bytes in
+    flush_ticks t;
+    Eff.send { Message.src = t.proc; dest = d; tag; elems; bytes }
+  | Node.N_recv { src; tag } ->
+    let s = Value.to_int (eval t src) in
+    flush_ticks t;
+    let msg = Eff.recv ~src:s ~tag in
+    List.iter
+      (fun (array, idx, v) ->
+        cost_mem t;
+        Storage.receive (array_obj t array) idx v)
+      msg.Message.elems
+  | Node.N_bcast { root; payload; site } -> (
+    let r = Value.to_int (eval t root) in
+    flush_ticks t;
+    match payload with
+    | Node.P_section (array, section) ->
+      let obj = array_obj t array in
+      let triplets = eval_section t section in
+      let read () = read_section t obj triplets in
+      let write elems =
+        List.iter (fun (idx, v) -> Storage.receive obj idx v) elems
+      in
+      Eff.collective ~site (Eff.Coll_bcast { root = r; label = array; read; write })
+    | Node.P_scalar name ->
+      let cell = scalar_cell t name in
+      let read () = [ ([||], !cell) ] in
+      let write = function
+        | [ (_, v) ] -> cell := v
+        | _ -> Diag.error "scalar broadcast payload mismatch"
+      in
+      Eff.collective ~site (Eff.Coll_bcast { root = r; label = name; read; write }))
+  | Node.N_remap { array; new_layout; move; site } ->
+    let obj = array_obj t array in
+    flush_ticks t;
+    Eff.collective ~site (Eff.Coll_remap { obj; new_layout; move })
+  | Node.N_print args ->
+    let line =
+      String.concat " " (List.map (fun e -> Value.to_string (eval t e)) args)
+    in
+    flush_ticks t;
+    Eff.output line
+  | Node.N_return -> raise Return_signal
+
+and call t name args : unit =
+  let np =
+    match Node.find_proc t.prog name with
+    | Some np -> np
+    | None -> Diag.error "call to unknown node procedure %s" name
+  in
+  if List.length args <> List.length np.Node.np_formals then
+    Diag.error "node procedure %s arity mismatch" name;
+  let frame : frame = Hashtbl.create 16 in
+  (* Bind formals: whole arrays and scalar variables pass by reference;
+     other expressions pass by value. *)
+  List.iter2
+    (fun formal actual ->
+      let binding =
+        match actual with
+        | Ast.Var v -> lookup t v
+        | e -> Bscalar (ref (eval t e))
+      in
+      Hashtbl.replace frame formal binding)
+    np.Node.np_formals args;
+  (* Allocate non-formal, non-COMMON local arrays and declared scalars. *)
+  let is_common name =
+    Hashtbl.mem t.globals name
+  in
+  List.iter
+    (fun (ad : Node.array_decl) ->
+      if (not (List.mem ad.Node.ad_name np.Node.np_formals))
+         && not (is_common ad.Node.ad_name)
+      then begin
+        let obj =
+          Storage.alloc ~proc:t.proc ~nprocs:t.config.Config.nprocs ad.Node.ad_name
+            ad.Node.ad_elt ad.Node.ad_layout
+        in
+        Storage.mark_initial_validity obj;
+        Hashtbl.replace frame ad.Node.ad_name (Barray obj)
+      end)
+    np.Node.np_arrays;
+  List.iter
+    (fun (v, ty) ->
+      if
+        (not (List.mem v np.Node.np_formals))
+        && (not (Hashtbl.mem frame v))
+        && not (is_common v)
+      then Hashtbl.replace frame v (Bscalar (ref (Value.zero_of ty))))
+    np.Node.np_scalars;
+  t.frames <- frame :: t.frames;
+  (try List.iter (exec t) np.Node.np_body with Return_signal -> ());
+  t.frames <- List.tl t.frames
+
+(* Run this processor's copy of the main node program; returns the main
+   frame so the driver can gather final array contents. *)
+let run_main t : frame =
+  let main =
+    match Node.find_proc t.prog t.prog.Node.n_main with
+    | Some np -> np
+    | None -> Diag.error "node program has no main %s" t.prog.Node.n_main
+  in
+  let frame : frame = Hashtbl.create 16 in
+  (* COMMON storage: allocated once, bound both globally (visible from
+     every procedure) and in the main frame (visible to gather) *)
+  List.iter
+    (fun (ad : Node.array_decl) ->
+      let obj =
+        Storage.alloc ~proc:t.proc ~nprocs:t.config.Config.nprocs ad.Node.ad_name
+          ad.Node.ad_elt ad.Node.ad_layout
+      in
+      Storage.mark_initial_validity obj;
+      Hashtbl.replace t.globals ad.Node.ad_name (Barray obj);
+      Hashtbl.replace frame ad.Node.ad_name (Barray obj))
+    t.prog.Node.n_common_arrays;
+  List.iter
+    (fun (v, ty) ->
+      let cell = Bscalar (ref (Value.zero_of ty)) in
+      Hashtbl.replace t.globals v cell;
+      Hashtbl.replace frame v cell)
+    t.prog.Node.n_common_scalars;
+  List.iter
+    (fun (ad : Node.array_decl) ->
+      if Hashtbl.mem t.globals ad.Node.ad_name then ()
+      else begin
+        let obj =
+          Storage.alloc ~proc:t.proc ~nprocs:t.config.Config.nprocs ad.Node.ad_name
+            ad.Node.ad_elt ad.Node.ad_layout
+        in
+        Storage.mark_initial_validity obj;
+        Hashtbl.replace frame ad.Node.ad_name (Barray obj)
+      end)
+    main.Node.np_arrays;
+  List.iter
+    (fun (v, ty) ->
+      if not (Hashtbl.mem t.globals v) then
+        Hashtbl.replace frame v (Bscalar (ref (Value.zero_of ty))))
+    main.Node.np_scalars;
+  t.frames <- [ frame ];
+  (try List.iter (exec t) main.Node.np_body with Return_signal -> ());
+  flush_ticks t;
+  frame

@@ -1,0 +1,28 @@
+(** Interpreter for SPMD node programs, one instance per logical
+    processor.  Performs {!Eff} effects for time, messages, collectives,
+    and output; the {!Scheduler} coordinates the ensemble. *)
+
+open Fd_frontend
+
+exception Return_signal
+
+type binding = Bscalar of Value.t ref | Barray of Storage.array_obj
+
+type frame = (string, binding) Hashtbl.t
+
+type t
+
+val create : proc:int -> config:Config.t -> stats:Stats.t -> Node.program -> t
+
+val eval : t -> Ast.expr -> Value.t
+(** Evaluate in the current frame, accumulating compute cost.
+    Intrinsics include [myproc()], [nprocs()], the compile-time table
+    select [tab$], and the run-time ownership query [owner$]. *)
+
+val binop : Ast.binop -> Value.t -> Value.t -> Value.t
+
+val exec : t -> Node.nstmt -> unit
+
+val run_main : t -> frame
+(** Execute this processor's copy of the main node program; returns the
+    main frame so the driver can gather final array contents. *)

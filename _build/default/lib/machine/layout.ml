@@ -1,0 +1,92 @@
+(* Data layouts: how one array dimension is partitioned across the P
+   logical processors.  At most one dimension of an array is distributed
+   (the paper's examples use 1-D distributions; see DESIGN.md). *)
+
+open Fd_support
+
+type dist1 =
+  | Block of int         (* block size *)
+  | Cyclic
+  | Block_cyclic of int  (* block size; blocks dealt round-robin *)
+  | Replicated
+
+type t = {
+  bounds : (int * int) list;  (* declared global bounds per dimension *)
+  dist_dim : int option;      (* 0-based distributed dimension *)
+  dist : dist1;
+}
+
+let replicated bounds = { bounds; dist_dim = None; dist = Replicated }
+
+let rank t = List.length t.bounds
+
+let extent (lo, hi) = hi - lo + 1
+
+let dim_bounds t d = List.nth t.bounds d
+
+(* Default block size: ceil(N / P). *)
+let block_size_for ~nprocs (lo, hi) = (extent (lo, hi) + nprocs - 1) / nprocs
+
+(* Per-processor owned global indices in the distributed dimension.  For
+   replicated layouts every processor owns the full extent of dimension 0
+   (the choice of dimension is immaterial). *)
+let owned t ~nprocs : Iset.t array =
+  match t.dist_dim with
+  | None ->
+    let lo, hi = List.nth t.bounds 0 in
+    Array.make nprocs (Iset.range lo hi)
+  | Some d ->
+    let lo, hi = dim_bounds t d in
+    (match t.dist with
+    | Replicated -> Array.make nprocs (Iset.range lo hi)
+    | Block b ->
+      Array.init nprocs (fun p ->
+          let plo = lo + (p * b) and phi = min hi (lo + ((p + 1) * b) - 1) in
+          if phi < plo then Iset.empty
+          else Iset.of_triplet (Triplet.make ~lo:plo ~hi:phi ~step:1))
+    | Cyclic ->
+      Array.init nprocs (fun p ->
+          if lo + p > hi then Iset.empty
+          else Iset.of_triplet (Triplet.make ~lo:(lo + p) ~hi ~step:nprocs))
+    | Block_cyclic b ->
+      Array.init nprocs (fun p ->
+          let sets = ref Iset.empty in
+          let blk = ref (lo + (p * b)) in
+          while !blk <= hi do
+            let bhi = min hi (!blk + b - 1) in
+            sets := Iset.union !sets (Iset.range !blk bhi);
+            blk := !blk + (nprocs * b)
+          done;
+          !sets))
+
+(* Owner of global index [g] in the distributed dimension; 0 when the
+   array is replicated (every processor owns it; caller should check). *)
+let owner_of t ~nprocs g =
+  match (t.dist_dim, t.dist) with
+  | None, _ | _, Replicated -> 0
+  | Some d, Block b ->
+    let lo, _ = dim_bounds t d in
+    min (nprocs - 1) ((g - lo) / b)
+  | Some d, Cyclic ->
+    let lo, _ = dim_bounds t d in
+    (g - lo) mod nprocs
+  | Some d, Block_cyclic b ->
+    let lo, _ = dim_bounds t d in
+    (g - lo) / b mod nprocs
+
+let is_replicated t = t.dist_dim = None || t.dist = Replicated
+
+let equal a b = a.bounds = b.bounds && a.dist_dim = b.dist_dim && a.dist = b.dist
+
+let dist_name = function
+  | Block b -> Fmt.str "block(%d)" b
+  | Cyclic -> "cyclic"
+  | Block_cyclic b -> Fmt.str "block_cyclic(%d)" b
+  | Replicated -> "replicated"
+
+let pp ppf t =
+  match t.dist_dim with
+  | None -> Fmt.string ppf "replicated"
+  | Some d -> Fmt.pf ppf "dim %d %s" (d + 1) (dist_name t.dist)
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,39 @@
+(** Data layouts: how one array dimension is partitioned across the P
+    logical processors.  At most one dimension is distributed (a 1-D
+    logical processor arrangement; see DESIGN.md). *)
+
+open Fd_support
+
+type dist1 =
+  | Block of int         (** block size *)
+  | Cyclic
+  | Block_cyclic of int
+  | Replicated
+
+type t = {
+  bounds : (int * int) list;  (** declared global bounds per dimension *)
+  dist_dim : int option;      (** 0-based distributed dimension *)
+  dist : dist1;
+}
+
+val replicated : (int * int) list -> t
+val rank : t -> int
+val extent : int * int -> int
+val dim_bounds : t -> int -> int * int
+
+val block_size_for : nprocs:int -> int * int -> int
+(** Default block size: ceil(extent / P). *)
+
+val owned : t -> nprocs:int -> Iset.t array
+(** Per-processor owned global indices in the distributed dimension (the
+    full extent everywhere when replicated).  The sets partition the
+    extent (property-tested). *)
+
+val owner_of : t -> nprocs:int -> int -> int
+(** Owner of a global index in the distributed dimension. *)
+
+val is_replicated : t -> bool
+val equal : t -> t -> bool
+val dist_name : dist1 -> string
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,21 @@
+(* Typed section messages exchanged by node programs. *)
+
+type t = {
+  src : int;
+  dest : int;
+  tag : int;            (* static communication-site id *)
+  elems : (string * int array * Value.t) list;
+      (* (array, global index vector, value); one message may aggregate
+         sections of several arrays (paper Fig. 11 aggregation) *)
+  bytes : int;
+}
+
+let nelems m = List.length m.elems
+
+let arrays m =
+  List.sort_uniq compare (List.map (fun (a, _, _) -> a) m.elems)
+
+let pp ppf m =
+  Fmt.pf ppf "msg %d->%d tag %d %s (%d elems, %d bytes)" m.src m.dest m.tag
+    (String.concat "+" (arrays m))
+    (nelems m) m.bytes

@@ -1,0 +1,17 @@
+(** Typed section messages exchanged by node programs. *)
+
+type t = {
+  src : int;
+  dest : int;
+  tag : int;            (** static communication-site id *)
+  elems : (string * int array * Value.t) list;
+      (** (array, global index vector, value); one message may aggregate
+          sections of several arrays (paper Fig. 11 aggregation) *)
+  bytes : int;
+}
+
+val nelems : t -> int
+
+val arrays : t -> string list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,359 @@
+(* Virtual-time scheduler for the processor ensemble.
+
+   Each logical processor runs as a delimited computation (via OCaml 5
+   effect handlers).  A processor runs until it finishes or blocks on a
+   receive / collective; sends are asynchronous (infinite buffering, the
+   iPSC model) and carry an arrival timestamp of
+   [sender_clock + alpha + beta * bytes].  A blocking receive advances the
+   receiver's clock to [max(own clock, arrival)].  Collectives
+   (broadcast, remap) synchronize all P processors at a site, advance
+   everyone to the ensemble maximum plus the collective's cost, and
+   perform the global data movement. *)
+
+open Fd_support
+open Effect.Deep
+
+type error =
+  | Deadlock of string
+  | Runtime_error of string
+
+exception Sim_error of error
+
+let error_to_string = function
+  | Deadlock s -> "deadlock: " ^ s
+  | Runtime_error s -> "runtime error: " ^ s
+
+type outcome =
+  | O_done of Interp.frame
+  | O_blocked_recv of { src : int; tag : int; k : (Message.t, outcome) continuation }
+  | O_blocked_coll of { site : int; op : Eff.coll_op; k : (unit, outcome) continuation }
+
+type t = {
+  config : Config.t;
+  stats : Stats.t;
+  channels : (int * int * int, (Message.t * float) Queue.t) Hashtbl.t;
+  (* (src, dest, tag) -> queued messages with arrival times *)
+  parked : (int, int * int * (Message.t, outcome) continuation) Hashtbl.t;
+  (* blocked receivers: proc -> (src, tag, continuation) *)
+  colls : (int, (int * Eff.coll_op * (unit, outcome) continuation) list ref) Hashtbl.t;
+  runq : (int * (unit -> outcome)) Queue.t;
+  final_frames : Interp.frame option array;
+}
+
+let create config =
+  { config;
+    stats = Stats.create config.Config.nprocs;
+    channels = Hashtbl.create 64;
+    parked = Hashtbl.create 8;
+    colls = Hashtbl.create 8;
+    runq = Queue.create ();
+    final_frames = Array.make config.Config.nprocs None }
+
+let channel t key =
+  match Hashtbl.find_opt t.channels key with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Hashtbl.replace t.channels key q;
+    q
+
+let record t ev =
+  if t.config.Config.record_trace then t.stats.Stats.trace <- ev :: t.stats.Stats.trace
+
+let resume_recv t p src tag k : unit -> outcome =
+  fun () ->
+    let q = channel t (src, p, tag) in
+    let msg, arrival = Queue.pop q in
+    let before = t.stats.Stats.clocks.(p) in
+    t.stats.Stats.clocks.(p) <- Float.max before arrival;
+    record t
+      (Stats.Ev_recv
+         { at = t.stats.Stats.clocks.(p); src; dest = p; tag;
+           waited = Float.max 0.0 (arrival -. before) });
+    continue k msg
+
+(* Run one processor's computation under the effect handler. *)
+let run_proc t (p : int) (f : unit -> Interp.frame) : outcome =
+  match_with f ()
+    { retc = (fun frame -> O_done frame);
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Eff.Tick dt ->
+            Some
+              (fun (k : (a, outcome) continuation) ->
+                t.stats.Stats.clocks.(p) <- t.stats.Stats.clocks.(p) +. dt;
+                t.stats.Stats.busy.(p) <- t.stats.Stats.busy.(p) +. dt;
+                continue k ())
+          | Eff.Send msg ->
+            Some
+              (fun (k : (a, outcome) continuation) ->
+                let send_cost = t.config.Config.alpha in
+                t.stats.Stats.clocks.(p) <- t.stats.Stats.clocks.(p) +. send_cost;
+                let arrival =
+                  t.stats.Stats.clocks.(p)
+                  +. (t.config.Config.beta *. float_of_int msg.Message.bytes)
+                in
+                t.stats.Stats.messages <- t.stats.Stats.messages + 1;
+                t.stats.Stats.message_bytes <-
+                  t.stats.Stats.message_bytes + msg.Message.bytes;
+                record t
+                  (Stats.Ev_send
+                     { at = t.stats.Stats.clocks.(p); src = msg.Message.src;
+                       dest = msg.Message.dest; tag = msg.Message.tag;
+                       bytes = msg.Message.bytes });
+                Queue.add (msg, arrival)
+                  (channel t (msg.Message.src, msg.Message.dest, msg.Message.tag));
+                (* wake a parked receiver waiting on this channel *)
+                (match Hashtbl.find_opt t.parked msg.Message.dest with
+                | Some (src', tag', krecv)
+                  when src' = msg.Message.src && tag' = msg.Message.tag ->
+                  Hashtbl.remove t.parked msg.Message.dest;
+                  Queue.add
+                    (msg.Message.dest,
+                     resume_recv t msg.Message.dest src' tag' krecv)
+                    t.runq
+                | _ -> ());
+                continue k ())
+          | Eff.Recv (src, tag) ->
+            Some
+              (fun (k : (a, outcome) continuation) ->
+                let q = channel t (src, p, tag) in
+                if not (Queue.is_empty q) then begin
+                  let msg, arrival = Queue.pop q in
+                  let before = t.stats.Stats.clocks.(p) in
+                  t.stats.Stats.clocks.(p) <- Float.max before arrival;
+                  record t
+                    (Stats.Ev_recv
+                       { at = t.stats.Stats.clocks.(p); src; dest = p; tag;
+                         waited = Float.max 0.0 (arrival -. before) });
+                  continue k msg
+                end
+                else O_blocked_recv { src; tag; k })
+          | Eff.Collective (site, op) ->
+            Some (fun (k : (a, outcome) continuation) -> O_blocked_coll { site; op; k })
+          | Eff.Output line ->
+            Some
+              (fun (k : (a, outcome) continuation) ->
+                t.stats.Stats.outputs <- (p, line) :: t.stats.Stats.outputs;
+                continue k ())
+          | _ -> None) }
+
+(* --- Collectives ------------------------------------------------------ *)
+
+let word_bytes t = t.config.Config.word_bytes
+
+let perform_bcast t (parts : (int * Eff.coll_op * (unit, outcome) continuation) list) =
+  let root, elems =
+    match
+      List.find_map
+        (function
+          | p, Eff.Coll_bcast { root; read; _ }, _ when root = p -> Some (p, read ())
+          | _ -> None)
+        parts
+    with
+    | Some x -> x
+    | None -> raise (Sim_error (Runtime_error "broadcast with no root participant"))
+  in
+  let bytes = List.length elems * word_bytes t in
+  let cost = Config.bcast_cost t.config bytes in
+  let tmax =
+    List.fold_left (fun acc (p, _, _) -> Float.max acc t.stats.Stats.clocks.(p)) 0.0 parts
+  in
+  t.stats.Stats.bcasts <- t.stats.Stats.bcasts + 1;
+  t.stats.Stats.bcast_bytes <- t.stats.Stats.bcast_bytes + bytes;
+  record t (Stats.Ev_bcast { at = tmax +. cost; root; bytes; site = 0 });
+  List.iter
+    (fun (p, op, _) ->
+      t.stats.Stats.clocks.(p) <- tmax +. cost;
+      match op with
+      | Eff.Coll_bcast { write; _ } -> if p <> root then write elems
+      | Eff.Coll_remap _ ->
+        raise (Sim_error (Runtime_error "mixed collective at one site")))
+    parts
+
+let perform_remap t (parts : (int * Eff.coll_op * (unit, outcome) continuation) list) =
+  let nprocs = t.config.Config.nprocs in
+  let objs = Array.make nprocs None in
+  let new_layout = ref None and move = ref true in
+  List.iter
+    (fun (p, op, _) ->
+      match op with
+      | Eff.Coll_remap { obj; new_layout = nl; move = mv } ->
+        objs.(p) <- Some obj;
+        new_layout := Some nl;
+        move := mv
+      | Eff.Coll_bcast _ ->
+        raise (Sim_error (Runtime_error "mixed collective at one site")))
+    parts;
+  let new_layout =
+    match !new_layout with
+    | Some l -> l
+    | None -> raise (Sim_error (Runtime_error "remap with no layout"))
+  in
+  let obj0 =
+    match objs.(0) with
+    | Some o -> o
+    | None -> raise (Sim_error (Runtime_error "remap missing processor 0"))
+  in
+  let old_layout = obj0.Storage.layout in
+  let old_owned = Layout.owned old_layout ~nprocs in
+  let new_owned = Layout.owned new_layout ~nprocs in
+  let sent = Array.make nprocs 0 and received = Array.make nprocs 0 in
+  let partners = Hashtbl.create 16 in
+  let moves = ref [] in
+  (* plan the data movement before touching layouts *)
+  if !move then
+    Storage.iter_elements obj0 (fun idx _flat ->
+        let dim_index d = idx.(d) in
+        let old_owner =
+          match old_layout.Layout.dist_dim with
+          | None -> 0  (* replicated: processor 0 is as authoritative as any *)
+          | Some d -> Layout.owner_of old_layout ~nprocs (dim_index d)
+        in
+        for r = 0 to nprocs - 1 do
+          let needs =
+            match new_layout.Layout.dist_dim with
+            | None -> true
+            | Some d -> Iset.mem (dim_index d) new_owned.(r)
+          in
+          let had =
+            match old_layout.Layout.dist_dim with
+            | None -> true
+            | Some d -> Iset.mem (dim_index d) old_owned.(r)
+          in
+          if needs && not had then begin
+            let src_obj =
+              match objs.(old_owner) with Some o -> o | None -> assert false
+            in
+            let v =
+              Storage.get_raw src_obj (Storage.flat_index src_obj idx)
+            in
+            moves := (r, Array.copy idx, v) :: !moves;
+            sent.(old_owner) <- sent.(old_owner) + word_bytes t;
+            received.(r) <- received.(r) + word_bytes t;
+            Hashtbl.replace partners (old_owner, r) ()
+          end
+        done);
+  (* switch layouts everywhere (resets validity to new ownership) *)
+  Array.iter
+    (function
+      | Some obj -> Storage.set_layout ~nprocs obj new_layout
+      | None -> raise (Sim_error (Runtime_error "remap missing a processor")))
+    objs;
+  (* apply the planned copies *)
+  List.iter
+    (fun (r, idx, v) ->
+      match objs.(r) with
+      | Some obj -> Storage.receive obj idx v
+      | None -> assert false)
+    !moves;
+  (* time accounting *)
+  let tmax =
+    List.fold_left (fun acc (p, _, _) -> Float.max acc t.stats.Stats.clocks.(p)) 0.0 parts
+  in
+  let npairs = Array.make nprocs 0 in
+  Hashtbl.iter
+    (fun (q, r) () ->
+      npairs.(q) <- npairs.(q) + 1;
+      npairs.(r) <- npairs.(r) + 1)
+    partners;
+  let total_bytes = Array.fold_left ( + ) 0 sent in
+  if !move then begin
+    t.stats.Stats.remaps <- t.stats.Stats.remaps + 1;
+    t.stats.Stats.remap_bytes <- t.stats.Stats.remap_bytes + total_bytes
+  end
+  else t.stats.Stats.remap_marks <- t.stats.Stats.remap_marks + 1;
+  record t
+    (Stats.Ev_remap
+       { at = tmax; array = obj0.Storage.name; moved_bytes = total_bytes;
+         mark_only = not !move });
+  List.iter
+    (fun (p, _, _) ->
+      let cost =
+        if !move then
+          (float_of_int npairs.(p) *. t.config.Config.alpha)
+          +. (t.config.Config.beta *. float_of_int (sent.(p) + received.(p)))
+        else 0.0
+      in
+      t.stats.Stats.clocks.(p) <- tmax +. cost)
+    parts
+
+let perform_collective t site =
+  match Hashtbl.find_opt t.colls site with
+  | None -> ()
+  | Some parts_ref ->
+    let parts = List.rev !parts_ref in
+    Hashtbl.remove t.colls site;
+    (match parts with
+    | (_, Eff.Coll_bcast _, _) :: _ -> perform_bcast t parts
+    | (_, Eff.Coll_remap _, _) :: _ -> perform_remap t parts
+    | [] -> ());
+    List.iter (fun (p, _, k) -> Queue.add (p, fun () -> continue k ()) t.runq) parts
+
+(* --- Main loop --------------------------------------------------------- *)
+
+let describe_blocked t =
+  let parts = ref [] in
+  Hashtbl.iter
+    (fun p (src, tag, _) ->
+      parts := Fmt.str "p%d waiting recv from p%d tag %d" p src tag :: !parts)
+    t.parked;
+  Hashtbl.iter
+    (fun site members ->
+      parts :=
+        Fmt.str "collective site %d has %d/%d participants" site
+          (List.length !members) t.config.Config.nprocs
+        :: !parts)
+    t.colls;
+  String.concat "; " (List.rev !parts)
+
+let run (config : Config.t) (prog : Node.program) : Stats.t * Interp.frame array =
+  let t = create config in
+  let nprocs = config.Config.nprocs in
+  for p = 0 to nprocs - 1 do
+    let interp = Interp.create ~proc:p ~config ~stats:t.stats prog in
+    Queue.add (p, fun () -> run_proc t p (fun () -> Interp.run_main interp)) t.runq
+  done;
+  let finished = ref 0 in
+  (try
+     while not (Queue.is_empty t.runq) do
+       let p, thunk = Queue.pop t.runq in
+       match thunk () with
+       | O_done frame ->
+         t.final_frames.(p) <- Some frame;
+         incr finished
+       | O_blocked_recv { src; tag; k } ->
+         let q = channel t (src, p, tag) in
+         if not (Queue.is_empty q) then
+           Queue.add (p, resume_recv t p src tag k) t.runq
+         else Hashtbl.replace t.parked p (src, tag, k)
+       | O_blocked_coll { site; op; k } ->
+         let members =
+           match Hashtbl.find_opt t.colls site with
+           | Some r -> r
+           | None ->
+             let r = ref [] in
+             Hashtbl.replace t.colls site r;
+             r
+         in
+         members := (p, op, k) :: !members;
+         if List.length !members = nprocs then perform_collective t site
+     done
+   with Storage.Invalid_read { array; index; proc } ->
+     raise
+       (Sim_error
+          (Runtime_error
+             (Fmt.str
+                "processor %d read non-owned, never-received element %s(%s): missing communication"
+                proc array
+                (String.concat "," (Array.to_list (Array.map string_of_int index)))))));
+  if !finished < nprocs then
+    raise (Sim_error (Deadlock (describe_blocked t)));
+  let frames =
+    Array.map
+      (function Some f -> f | None -> raise (Sim_error (Runtime_error "missing final frame")))
+      t.final_frames
+  in
+  (t.stats, frames)

@@ -1,0 +1,20 @@
+(** Virtual-time scheduler for the processor ensemble.
+
+    Each logical processor runs as a delimited computation (OCaml 5
+    effect handlers).  A processor runs until it finishes or blocks on a
+    receive / collective; sends are asynchronous (infinite buffering, the
+    iPSC model) with arrival time [sender_clock + alpha + beta*bytes]; a
+    blocking receive advances the receiver to [max(own, arrival)].
+    Collectives synchronize all P processors at a site.  Scheduling is
+    deterministic. *)
+
+type error = Deadlock of string | Runtime_error of string
+
+exception Sim_error of error
+
+val error_to_string : error -> string
+
+val run : Config.t -> Node.program -> Stats.t * Interp.frame array
+(** Simulate to completion.
+    @raise Sim_error on deadlock (including mismatched collective sites)
+    or runtime faults (including strict-validity violations). *)

@@ -1,0 +1,16 @@
+(** Sequential reference interpreter for checked mini-Fortran-D programs.
+    ALIGN/DISTRIBUTE are no-ops; arrays are global.  Ground truth for
+    verifying compiled SPMD executions, and the one-processor time
+    estimate. *)
+
+open Fd_frontend
+
+type result = {
+  arrays : (string * Storage.array_obj) list;  (** main-program arrays *)
+  outputs : string list;
+  flops : int;
+  mem_ops : int;
+  seq_time : float;  (** estimated sequential execution time *)
+}
+
+val run : ?config:Config.t -> Sema.checked_program -> result

@@ -1,0 +1,59 @@
+(* Execution statistics for a simulated run. *)
+
+type event =
+  | Ev_send of { at : float; src : int; dest : int; tag : int; bytes : int }
+  | Ev_recv of { at : float; src : int; dest : int; tag : int; waited : float }
+  | Ev_bcast of { at : float; root : int; bytes : int; site : int }
+  | Ev_remap of { at : float; array : string; moved_bytes : int; mark_only : bool }
+
+type t = {
+  nprocs : int;
+  mutable messages : int;        (* point-to-point messages *)
+  mutable message_bytes : int;
+  mutable bcasts : int;
+  mutable bcast_bytes : int;
+  mutable remaps : int;          (* physical remap operations *)
+  mutable remap_marks : int;     (* mark-only remaps (array-kill opt) *)
+  mutable remap_bytes : int;
+  mutable flops : int;
+  mutable mem_ops : int;
+  clocks : float array;          (* per-processor virtual time, seconds *)
+  busy : float array;            (* per-processor compute time *)
+  mutable outputs : (int * string) list;  (* (proc, line), reversed *)
+  mutable trace : event list;              (* reversed; only when enabled *)
+}
+
+let create nprocs =
+  { nprocs; messages = 0; message_bytes = 0; bcasts = 0; bcast_bytes = 0;
+    remaps = 0; remap_marks = 0; remap_bytes = 0; flops = 0; mem_ops = 0;
+    clocks = Array.make nprocs 0.0; busy = Array.make nprocs 0.0; outputs = [];
+    trace = [] }
+
+let elapsed t = Array.fold_left max 0.0 t.clocks
+
+let total_busy t = Array.fold_left ( +. ) 0.0 t.busy
+
+(* Total communication operations: each p2p message plus each broadcast. *)
+let comm_ops t = t.messages + t.bcasts
+
+let outputs t = List.rev_map snd t.outputs
+
+let trace t = List.rev t.trace
+
+let pp_event ppf = function
+  | Ev_send { at; src; dest; tag; bytes } ->
+    Fmt.pf ppf "%10.1f us  send  p%d -> p%d  tag %d  %d bytes" (at *. 1e6) src dest tag bytes
+  | Ev_recv { at; src; dest; tag; waited } ->
+    Fmt.pf ppf "%10.1f us  recv  p%d <- p%d  tag %d  (waited %.1f us)" (at *. 1e6)
+      dest src tag (waited *. 1e6)
+  | Ev_bcast { at; root; bytes; site } ->
+    Fmt.pf ppf "%10.1f us  bcast from p%d  site %d  %d bytes" (at *. 1e6) root site bytes
+  | Ev_remap { at; array; moved_bytes; mark_only } ->
+    Fmt.pf ppf "%10.1f us  remap %s  %s" (at *. 1e6) array
+      (if mark_only then "(mark only)" else Fmt.str "%d bytes moved" moved_bytes)
+
+let pp ppf t =
+  Fmt.pf ppf
+    "@[<v>elapsed %.3f ms on %d procs@ messages: %d (%d bytes), broadcasts: %d (%d bytes)@ remaps: %d physical (%d bytes) + %d mark-only@ flops: %d, memory ops: %d@]"
+    (elapsed t *. 1e3) t.nprocs t.messages t.message_bytes t.bcasts t.bcast_bytes
+    t.remaps t.remap_bytes t.remap_marks t.flops t.mem_ops

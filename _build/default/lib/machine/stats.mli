@@ -1,0 +1,43 @@
+(** Execution statistics for one simulated run. *)
+
+type event =
+  | Ev_send of { at : float; src : int; dest : int; tag : int; bytes : int }
+  | Ev_recv of { at : float; src : int; dest : int; tag : int; waited : float }
+  | Ev_bcast of { at : float; root : int; bytes : int; site : int }
+  | Ev_remap of { at : float; array : string; moved_bytes : int; mark_only : bool }
+
+type t = {
+  nprocs : int;
+  mutable messages : int;        (** point-to-point messages *)
+  mutable message_bytes : int;
+  mutable bcasts : int;
+  mutable bcast_bytes : int;
+  mutable remaps : int;          (** physical remap operations *)
+  mutable remap_marks : int;     (** mark-only remaps (array-kill opt.) *)
+  mutable remap_bytes : int;
+  mutable flops : int;
+  mutable mem_ops : int;
+  clocks : float array;          (** per-processor virtual time, seconds *)
+  busy : float array;            (** per-processor compute time *)
+  mutable outputs : (int * string) list;  (** (proc, line), reversed *)
+  mutable trace : event list;
+      (** reversed; recorded only under {!Config.t.record_trace} *)
+}
+
+val create : int -> t
+
+val elapsed : t -> float
+(** Makespan: max over processor clocks. *)
+
+val total_busy : t -> float
+val comm_ops : t -> int
+
+val outputs : t -> string list
+(** Captured PRINT lines, in order. *)
+
+val trace : t -> event list
+(** Communication timeline, in order (empty unless recording). *)
+
+val pp_event : Format.formatter -> event -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,152 @@
+(* Per-processor array storage.
+
+   Every processor allocates the full global extent of each array (memory
+   is cheap in simulation) but tracks per-element *validity*: an element
+   is valid on a processor iff the processor owns it under the current
+   layout, has written it, or has received it in a message.  In strict
+   mode a read of an invalid element aborts the run — this catches
+   compiler communication bugs even when stale values happen to agree. *)
+
+open Fd_support
+open Fd_frontend
+
+type data =
+  | Fdata of float array
+  | Idata of int array
+  | Bdata of bool array
+
+type array_obj = {
+  name : string;
+  elt : Ast.dtype;
+  bounds : (int * int) array;
+  strides : int array;
+  size : int;
+  data : data;
+  valid : Bytes.t;
+  mutable layout : Layout.t;
+  mutable owned : Iset.t;  (* this processor's owned set in the dist dim *)
+  owner_proc : int;        (* which processor's memory this lives in *)
+}
+
+exception Invalid_read of { array : string; index : int array; proc : int }
+
+let make_data elt size =
+  match elt with
+  | Ast.Real -> Fdata (Array.make size 0.0)
+  | Ast.Integer -> Idata (Array.make size 0)
+  | Ast.Logical -> Bdata (Array.make size false)
+
+let alloc ~proc ~nprocs name elt (layout : Layout.t) : array_obj =
+  let bounds = Array.of_list layout.Layout.bounds in
+  let rank = Array.length bounds in
+  let extents = Array.map (fun (lo, hi) -> max 0 (hi - lo + 1)) bounds in
+  let strides = Array.make rank 1 in
+  for d = rank - 2 downto 0 do
+    strides.(d) <- strides.(d + 1) * extents.(d + 1)
+  done;
+  let size = if rank = 0 then 1 else strides.(0) * extents.(0) in
+  let owned = (Layout.owned layout ~nprocs).(proc) in
+  let obj =
+    { name; elt; bounds; strides; size;
+      data = make_data elt size;
+      valid = Bytes.make size '\000';
+      layout; owned; owner_proc = proc }
+  in
+  (* initial validity: owned elements (including all, when replicated) *)
+  obj
+
+let rank obj = Array.length obj.bounds
+
+let flat_index obj (idx : int array) : int =
+  let r = rank obj in
+  if Array.length idx <> r then
+    Diag.error "array %s: rank %d referenced with %d subscripts" obj.name r
+      (Array.length idx);
+  let flat = ref 0 in
+  for d = 0 to r - 1 do
+    let lo, hi = obj.bounds.(d) in
+    let x = idx.(d) in
+    if x < lo || x > hi then
+      Diag.error "array %s: subscript %d out of bounds %d:%d in dimension %d"
+        obj.name x lo hi (d + 1);
+    flat := !flat + ((x - lo) * obj.strides.(d))
+  done;
+  !flat
+
+(* Is [idx] owned by this processor under the current layout? *)
+let owns obj (idx : int array) =
+  match obj.layout.Layout.dist_dim with
+  | None -> true
+  | Some d -> Iset.mem idx.(d) obj.owned
+
+let mark_initial_validity obj =
+  match obj.layout.Layout.dist_dim with
+  | None -> Bytes.fill obj.valid 0 obj.size '\001'
+  | Some _ ->
+    (* walk all elements; mark owned ones *)
+    let r = rank obj in
+    let idx = Array.map fst obj.bounds in
+    let rec walk d =
+      if d = r then begin
+        if owns obj idx then Bytes.set obj.valid (flat_index obj idx) '\001'
+      end
+      else
+        let lo, hi = obj.bounds.(d) in
+        for x = lo to hi do
+          idx.(d) <- x;
+          walk (d + 1)
+        done
+    in
+    if obj.size > 0 then walk 0
+
+let get_raw obj flat =
+  match obj.data with
+  | Fdata a -> Value.Vreal a.(flat)
+  | Idata a -> Value.Vint a.(flat)
+  | Bdata a -> Value.Vbool a.(flat)
+
+let set_raw obj flat (v : Value.t) =
+  match obj.data with
+  | Fdata a -> a.(flat) <- Value.to_float v
+  | Idata a -> a.(flat) <- Value.to_int v
+  | Bdata a -> a.(flat) <- Value.to_bool v
+
+let read ~strict obj idx =
+  let flat = flat_index obj idx in
+  if Bytes.get obj.valid flat = '\000' then
+    if strict then raise (Invalid_read { array = obj.name; index = idx; proc = obj.owner_proc })
+    else ();
+  get_raw obj flat
+
+let write obj idx v =
+  let flat = flat_index obj idx in
+  set_raw obj flat v;
+  Bytes.set obj.valid flat '\001'
+
+(* Store a received element (validates it). *)
+let receive obj idx v = write obj idx v
+
+(* Change layout; validity is reset to ownership under the new layout
+   (stale non-owned copies are invalidated; the scheduler copies data to
+   new owners before calling this). *)
+let set_layout ~nprocs obj (layout : Layout.t) =
+  obj.layout <- layout;
+  obj.owned <- (Layout.owned layout ~nprocs).(obj.owner_proc);
+  Bytes.fill obj.valid 0 obj.size '\000';
+  mark_initial_validity obj
+
+let iter_elements obj f =
+  let r = rank obj in
+  if obj.size > 0 then begin
+    let idx = Array.map fst obj.bounds in
+    let rec walk d =
+      if d = r then f (Array.copy idx) (flat_index obj idx)
+      else
+        let lo, hi = obj.bounds.(d) in
+        for x = lo to hi do
+          idx.(d) <- x;
+          walk (d + 1)
+        done
+    in
+    walk 0
+  end

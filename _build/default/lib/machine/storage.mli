@@ -1,0 +1,61 @@
+(** Per-processor array storage.
+
+    Every processor allocates the full global extent of each array
+    (memory is cheap in simulation) but tracks per-element *validity*:
+    an element is valid on a processor iff the processor owns it under
+    the current layout, has written it, or has received it in a message.
+    In strict mode a read of an invalid element aborts the run — this
+    catches compiler communication bugs even when stale values agree. *)
+
+open Fd_support
+open Fd_frontend
+
+type data = Fdata of float array | Idata of int array | Bdata of bool array
+
+type array_obj = {
+  name : string;
+  elt : Ast.dtype;
+  bounds : (int * int) array;
+  strides : int array;
+  size : int;
+  data : data;
+  valid : Bytes.t;
+  mutable layout : Layout.t;
+  mutable owned : Iset.t;  (** this processor's owned set, dist dim *)
+  owner_proc : int;        (** which processor's memory this lives in *)
+}
+
+exception Invalid_read of { array : string; index : int array; proc : int }
+
+val alloc :
+  proc:int -> nprocs:int -> string -> Ast.dtype -> Layout.t -> array_obj
+(** Zero-filled storage; call {!mark_initial_validity} afterwards. *)
+
+val rank : array_obj -> int
+
+val flat_index : array_obj -> int array -> int
+(** @raise Fd_support.Diag.Compile_error on rank or bounds violations. *)
+
+val owns : array_obj -> int array -> bool
+
+val mark_initial_validity : array_obj -> unit
+(** Owned elements valid, everything else invalid. *)
+
+val get_raw : array_obj -> int -> Value.t
+val set_raw : array_obj -> int -> Value.t -> unit
+
+val read : strict:bool -> array_obj -> int array -> Value.t
+(** @raise Invalid_read in strict mode on invalid elements. *)
+
+val write : array_obj -> int array -> Value.t -> unit
+(** Stores and validates. *)
+
+val receive : array_obj -> int array -> Value.t -> unit
+(** Store an incoming message element (validates it). *)
+
+val set_layout : nprocs:int -> array_obj -> Layout.t -> unit
+(** Switch layouts; validity resets to ownership under the new layout
+    (the scheduler copies data to new owners around this). *)
+
+val iter_elements : array_obj -> (int array -> int -> unit) -> unit
+(** Visit every (index vector, flat index) pair. *)

@@ -1,0 +1,1 @@
+lib/support/diag.ml: Fmt Format List Loc

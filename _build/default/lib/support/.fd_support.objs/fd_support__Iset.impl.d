@@ -1,0 +1,1 @@
+lib/support/iset.ml: Fmt Int List Set Triplet

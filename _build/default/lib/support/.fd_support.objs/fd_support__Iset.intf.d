@@ -1,0 +1,1 @@
+lib/support/iset.mli: Format Triplet

@@ -1,0 +1,1 @@
+lib/support/triplet.ml: Fmt List

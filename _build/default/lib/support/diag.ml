@@ -1,0 +1,36 @@
+(* Compiler diagnostics.  Errors raise [Error]; warnings accumulate. *)
+
+type severity = Warning | Error
+
+type t = { severity : severity; loc : Loc.t; message : string }
+
+exception Compile_error of t
+
+let make severity loc message = { severity; loc; message }
+
+let error ?(loc = Loc.none) fmt =
+  Format.kasprintf
+    (fun message -> raise (Compile_error (make Error loc message)))
+    fmt
+
+let pp_severity ppf = function
+  | Warning -> Fmt.string ppf "warning"
+  | Error -> Fmt.string ppf "error"
+
+let pp ppf { severity; loc; message } =
+  Fmt.pf ppf "%a: %a: %s" Loc.pp loc pp_severity severity message
+
+let to_string t = Fmt.str "%a" pp t
+
+(* A sink for warnings so analyses can report without plumbing state. *)
+let warnings : t list ref = ref []
+
+let warn ?(loc = Loc.none) fmt =
+  Format.kasprintf
+    (fun message -> warnings := make Warning loc message :: !warnings)
+    fmt
+
+let take_warnings () =
+  let ws = List.rev !warnings in
+  warnings := [];
+  ws

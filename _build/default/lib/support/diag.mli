@@ -1,0 +1,22 @@
+(** Compiler diagnostics: fatal errors and accumulated warnings. *)
+
+type severity = Warning | Error
+
+type t = { severity : severity; loc : Loc.t; message : string }
+
+exception Compile_error of t
+
+val make : severity -> Loc.t -> string -> t
+
+val error : ?loc:Loc.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise {!Compile_error} with a formatted message. *)
+
+val warn : ?loc:Loc.t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Record a warning in the global warning sink. *)
+
+val take_warnings : unit -> t list
+(** Drain accumulated warnings, oldest first. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

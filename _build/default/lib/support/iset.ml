@@ -1,0 +1,92 @@
+(* Finite integer sets, canonically represented as a sorted list of
+   disjoint maximal triplets.  Sets in this compiler are index and
+   iteration sets bounded by array extents, so exact element-level
+   canonicalization is affordable and keeps every operation precise. *)
+
+module IS = Set.Make (Int)
+
+type t = Triplet.t list
+
+let empty = []
+
+let is_empty = List.for_all Triplet.is_empty
+
+let to_intset t =
+  List.fold_left
+    (fun acc tr -> List.fold_left (fun a x -> IS.add x a) acc (Triplet.to_list tr))
+    IS.empty t
+
+let of_intset s = Triplet.of_sorted_list (IS.elements s)
+
+let canonicalize t = of_intset (to_intset t)
+
+let of_triplet tr = if Triplet.is_empty tr then [] else [ tr ]
+
+let of_triplets ts =
+  match List.filter (fun tr -> not (Triplet.is_empty tr)) ts with
+  | [] -> []
+  | [ tr ] -> [ tr ]
+  | ts -> canonicalize ts
+
+let of_list xs = of_intset (IS.of_list xs)
+
+let singleton x = [ Triplet.singleton x ]
+
+let range lo hi = of_triplet (Triplet.make ~lo ~hi ~step:1)
+
+let mem x t = List.exists (Triplet.mem x) t
+
+let count t = List.fold_left (fun acc tr -> acc + Triplet.count tr) 0 t
+
+let to_list t = List.concat_map Triplet.to_list t
+
+let union a b =
+  match (a, b) with
+  | [], t | t, [] -> t
+  | _ -> of_intset (IS.union (to_intset a) (to_intset b))
+
+let inter a b =
+  match (a, b) with
+  | [], _ | _, [] -> []
+  | [ x ], [ y ] -> of_triplet (Triplet.inter x y)
+  | _ -> of_intset (IS.inter (to_intset a) (to_intset b))
+
+let diff a b =
+  match (a, b) with
+  | [], _ -> []
+  | t, [] -> t
+  | [ x ], [ y ] when Triplet.step y = 1 -> of_triplets (Triplet.diff x y)
+  | _ -> of_intset (IS.diff (to_intset a) (to_intset b))
+
+let equal a b = IS.equal (to_intset a) (to_intset b)
+
+let subset a b = IS.subset (to_intset a) (to_intset b)
+
+let disjoint a b = is_empty (inter a b)
+
+let shift d t = List.map (Triplet.shift d) t
+
+let triplets t = t
+
+let min_elt t =
+  List.fold_left
+    (fun acc tr -> if Triplet.is_empty tr then acc
+      else match acc with None -> Some (Triplet.lo tr) | Some m -> Some (min m (Triplet.lo tr)))
+    None t
+
+let max_elt t =
+  List.fold_left
+    (fun acc tr -> if Triplet.is_empty tr then acc
+      else match acc with None -> Some (Triplet.hi tr) | Some m -> Some (max m (Triplet.hi tr)))
+    None t
+
+let hull t =
+  match (min_elt t, max_elt t) with
+  | Some lo, Some hi -> Triplet.make ~lo ~hi ~step:1
+  | _ -> Triplet.empty
+
+let pp ppf t =
+  if is_empty t then Fmt.string ppf "{}"
+  else Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ",") Triplet.pp) t
+
+let to_string t = Fmt.str "%a" pp t

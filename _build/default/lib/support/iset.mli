@@ -1,0 +1,37 @@
+(** Finite integer sets as canonical sorted lists of disjoint triplets.
+
+    All operations are exact; sets are index/iteration sets bounded by
+    array extents, so element-level canonicalization is affordable. *)
+
+type t = Triplet.t list
+
+val empty : t
+val is_empty : t -> bool
+val of_triplet : Triplet.t -> t
+val of_triplets : Triplet.t list -> t
+val of_list : int list -> t
+val singleton : int -> t
+val range : int -> int -> t
+val mem : int -> t -> bool
+val count : t -> int
+val to_list : t -> int list
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+val disjoint : t -> t -> bool
+val shift : int -> t -> t
+
+val triplets : t -> Triplet.t list
+(** The canonical triplet decomposition. *)
+
+val min_elt : t -> int option
+val max_elt : t -> int option
+
+val hull : t -> Triplet.t
+(** Smallest contiguous triplet containing the set ({!Triplet.empty} for
+    the empty set). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

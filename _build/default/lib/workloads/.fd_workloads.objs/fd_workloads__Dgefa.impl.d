@@ -1,0 +1,1 @@
+lib/workloads/dgefa.ml: Array Float Fmt

@@ -1,0 +1,1 @@
+lib/workloads/figures.ml: Fmt

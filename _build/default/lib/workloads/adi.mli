@@ -1,0 +1,11 @@
+(** ADI-style alternating-direction sweeps: the paper's motivating use of
+    dynamic data decomposition (Section 6). *)
+
+val dynamic : ?n:int -> ?t:int -> unit -> string
+(** Remaps (block,:) <-> (:,block) between the row and column phases, so
+    both recurrences stay processor-local. *)
+
+val static_ : ?n:int -> ?t:int -> unit -> string
+(** Same computation, fixed row-block distribution: the column recurrence
+    runs along the distributed dimension and compiles through the
+    run-time-resolution fallback. *)

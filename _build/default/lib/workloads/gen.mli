@@ -1,0 +1,38 @@
+(** Seeded random mini-Fortran-D program generator for differential
+    testing: generated programs stay within the documented language but
+    mix distributions, shift widths, procedure boundaries, guards, and
+    dynamic redistribution.  Compiled executions verify element-by-element
+    against sequential interpretation. *)
+
+type spec = {
+  g_n : int;
+  g_dist : string;
+  g_ops : op list;
+  g_in_subroutines : bool;
+  g_redistribute : bool;
+}
+
+and op =
+  | Op_shift of int
+  | Op_axpy of int
+  | Op_scale
+  | Op_guarded of int
+
+val random_spec : ?max_ops:int -> Random.State.t -> spec
+
+val to_source : ?commons:bool -> spec -> string
+(** With [commons], the arrays live in a COMMON block and the operation
+    procedures take no arguments. *)
+
+val random_source : ?max_ops:int -> ?commons:bool -> Random.State.t -> string
+
+type spec2d = {
+  g2_n : int;
+  g2_dist : string;
+  g2_shifts : (int * int) list;
+  g2_in_subroutines : bool;
+}
+
+val random_spec2d : Random.State.t -> spec2d
+val to_source2d : spec2d -> string
+val random_source2d : Random.State.t -> string

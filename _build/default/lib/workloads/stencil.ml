@@ -1,0 +1,229 @@
+(* Relaxation workloads: the data-parallel kernels the paper's
+   introduction motivates, structured through procedures so that the
+   interprocedural machinery is exercised (reaching decompositions into
+   callees, exported shift communication, neighbor exchanges). *)
+
+(* 1-D Jacobi: two block arrays, sweep and copy-back procedures called
+   from a time loop. *)
+let jacobi1d ?(n = 128) ?(t = 5) () =
+  Fmt.str
+    {|
+program jacobi
+  parameter (n = %d, t = %d)
+  real u(%d), v(%d)
+  integer i, it
+  distribute u(block)
+  distribute v(block)
+  do i = 1, n
+    u(i) = float(mod(i*3, 17))
+    v(i) = 0.0
+  enddo
+  do it = 1, t
+    call sweep(u, v)
+    call copyb(v, u)
+  enddo
+  print *, u(1), u(n/2), u(n)
+end
+
+subroutine sweep(u, v)
+  parameter (n = %d)
+  real u(%d), v(%d)
+  integer i
+  do i = 2, n-1
+    v(i) = 0.5 * (u(i-1) + u(i+1))
+  enddo
+  v(1) = u(1)
+  v(n) = u(n)
+end
+
+subroutine copyb(v, u)
+  parameter (n = %d)
+  real u(%d), v(%d)
+  integer i
+  do i = 1, n
+    u(i) = v(i)
+  enddo
+end
+|}
+    n t n n n n n n n n
+
+(* 2-D Jacobi with row-block distribution: the distributed dimension
+   needs neighbor exchange, the other dimension stays local. *)
+let jacobi2d ?(n = 32) ?(t = 3) () =
+  Fmt.str
+    {|
+program jacobi2
+  parameter (n = %d, t = %d)
+  real u(%d,%d), v(%d,%d)
+  integer i, j, it
+  decomposition d(%d,%d)
+  align u(i,j) with d(i,j)
+  align v(i,j) with d(i,j)
+  distribute d(block,:)
+  do i = 1, n
+    do j = 1, n
+      u(i,j) = float(mod(i*5 + j*3, 13))
+      v(i,j) = 0.0
+    enddo
+  enddo
+  do it = 1, t
+    call sweep2(u, v)
+    call copy2(v, u)
+  enddo
+  print *, u(2,2), u(n/2,n/2)
+end
+
+subroutine sweep2(u, v)
+  parameter (n = %d)
+  real u(%d,%d), v(%d,%d)
+  integer i, j
+  do i = 2, n-1
+    do j = 2, n-1
+      v(i,j) = 0.25 * (u(i-1,j) + u(i+1,j) + u(i,j-1) + u(i,j+1))
+    enddo
+  enddo
+end
+
+subroutine copy2(v, u)
+  parameter (n = %d)
+  real u(%d,%d), v(%d,%d)
+  integer i, j
+  do i = 1, n
+    do j = 1, n
+      u(i,j) = v(i,j)
+    enddo
+  enddo
+end
+|}
+    n t n n n n n n n n n n n n n n n n
+
+(* Red-black Gauss-Seidel over a block array: strided partitioned loops. *)
+let redblack ?(n = 128) ?(t = 4) () =
+  Fmt.str
+    {|
+program redblack
+  parameter (n = %d, t = %d)
+  real u(%d)
+  integer i, it
+  distribute u(block)
+  do i = 1, n
+    u(i) = float(mod(i*11, 23))
+  enddo
+  do it = 1, t
+    call relax_red(u)
+    call relax_black(u)
+  enddo
+  print *, u(1), u(n/2), u(n)
+end
+
+subroutine relax_red(u)
+  parameter (n = %d)
+  real u(%d)
+  integer i
+  do i = 3, n-1, 2
+    u(i) = 0.5 * (u(i-1) + u(i+1))
+  enddo
+end
+
+subroutine relax_black(u)
+  parameter (n = %d)
+  real u(%d)
+  integer i
+  do i = 2, n-1, 2
+    u(i) = 0.5 * (u(i-1) + u(i+1))
+  enddo
+end
+|}
+    n t n n n n n
+
+(* Overlap-width family for the Section 5.6 overlap experiment: one
+   procedure per shift width. *)
+let shifts ?(n = 256) ~(widths : int list) () =
+  let subs =
+    List.mapi
+      (fun idx w ->
+        Fmt.str
+          {|
+subroutine shift%d(x, y)
+  parameter (n = %d)
+  real x(%d), y(%d)
+  integer i
+  do i = 1, n - %d
+    y(i) = x(i+%d)
+  enddo
+end
+|}
+          idx n n n w w)
+      widths
+  in
+  let calls =
+    List.mapi (fun idx _ -> Fmt.str "  call shift%d(x, y)" idx) widths
+  in
+  Fmt.str
+    {|
+program shifts
+  parameter (n = %d)
+  real x(%d), y(%d)
+  integer i
+  distribute x(block)
+  distribute y(block)
+  do i = 1, n
+    x(i) = float(i)
+    y(i) = 0.0
+  enddo
+%s
+  print *, y(1)
+end
+%s
+|}
+    n n n (String.concat "\n" calls) (String.concat "\n" subs)
+
+(* Multi-array shift through one procedure: the reads of u, v and w are
+   shifted the same way, so the interprocedural compiler can aggregate
+   their boundary transfers into one message per neighbor pair (paper
+   Fig. 11 "aggregate RSDs for messages to the same processor"). *)
+let multi_array ?(n = 128) ?(t = 4) () =
+  Fmt.str
+    {|
+program multi
+  parameter (n = %d, t = %d)
+  real u(%d), v(%d), w(%d), r(%d)
+  integer i, it
+  distribute u(block)
+  distribute v(block)
+  distribute w(block)
+  distribute r(block)
+  do i = 1, n
+    u(i) = float(mod(i*3, 7))
+    v(i) = float(mod(i*5, 11))
+    w(i) = float(mod(i*7, 13))
+    r(i) = 0.0
+  enddo
+  do it = 1, t
+    call combine(u, v, w, r)
+    call refresh(u, v, w, r)
+  enddo
+  print *, r(1), r(n/2)
+end
+
+subroutine combine(u, v, w, r)
+  parameter (n = %d)
+  real u(%d), v(%d), w(%d), r(%d)
+  integer i
+  do i = 1, n-1
+    r(i) = u(i+1) + v(i+1) + w(i+1)
+  enddo
+end
+
+subroutine refresh(u, v, w, r)
+  parameter (n = %d)
+  real u(%d), v(%d), w(%d), r(%d)
+  integer i
+  do i = 1, n
+    u(i) = 0.9 * u(i) + 0.1 * r(i)
+    v(i) = 0.9 * v(i) + 0.1 * r(i)
+    w(i) = 0.9 * w(i) + 0.1 * r(i)
+  enddo
+end
+|}
+    n t n n n n n n n n n n n n n n

@@ -1,0 +1,19 @@
+(** Relaxation workloads structured through procedures, exercising
+    inherited decompositions and exported shift communication. *)
+
+val jacobi1d : ?n:int -> ?t:int -> unit -> string
+
+val jacobi2d : ?n:int -> ?t:int -> unit -> string
+(** Row-block 2-D Jacobi: neighbor exchange in the distributed dimension
+    only. *)
+
+val redblack : ?n:int -> ?t:int -> unit -> string
+(** Strided (red/black) partitioned loops. *)
+
+val shifts : ?n:int -> widths:int list -> unit -> string
+(** One procedure per shift width; the overlap-analysis experiment
+    family (E7). *)
+
+val multi_array : ?n:int -> ?t:int -> unit -> string
+(** Three same-direction shifted reads through one procedure: the
+    message-aggregation demonstration (paper Fig. 11, experiment E10). *)

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Affine Alcotest Array Ast Cfg Dataflow Dependence Fd_analysis Fd_frontend Fd_support List Region Sections Sema Symtab Triplet

@@ -1,0 +1,1 @@
+test/test_callgraph.ml: Acg Alcotest Ast Fd_analysis Fd_callgraph Fd_frontend Fd_support Fd_workloads List Local_summary Sema Side_effects String

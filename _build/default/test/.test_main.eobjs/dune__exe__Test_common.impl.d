@@ -1,0 +1,1 @@
+test/test_common.ml: Alcotest Ast_printer Codegen Diag Driver Exports Fd_core Fd_frontend Fd_machine Fd_support Fd_workloads List Options Printexc Random Sema Stats String Symtab

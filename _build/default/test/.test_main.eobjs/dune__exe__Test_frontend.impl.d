@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Ast Ast_printer Diag Fd_frontend Fd_support Fd_workloads Lexer List Listx Sema String Symtab Token

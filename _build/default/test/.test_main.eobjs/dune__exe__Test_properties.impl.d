@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Ast Dependence Fd_analysis Fd_core Fd_frontend Fd_machine Fd_support Fmt Fun Iset List QCheck2 QCheck_alcotest Region Sections Sema Triplet

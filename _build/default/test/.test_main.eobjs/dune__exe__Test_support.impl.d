@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Fd_support Fmt Iset List QCheck2 QCheck_alcotest String Triplet

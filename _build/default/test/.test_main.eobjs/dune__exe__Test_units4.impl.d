@@ -1,0 +1,1 @@
+test/test_units4.ml: Alcotest Array Ast Codegen Comm Driver Exports Fd_core Fd_frontend Fd_machine Fd_support Fd_workloads Fmt Hashtbl Iset Layout List Node Options Stats String Triplet

@@ -1,0 +1,296 @@
+(* Analysis library tests: affine forms, regions, CFG shape, dataflow
+   fixpoints, reference collection, and dependence classification. *)
+
+open Fd_support
+open Fd_frontend
+open Fd_analysis
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let unit_of src = List.hd (Sema.check_source src).Sema.units
+
+(* --- Affine -------------------------------------------------------------- *)
+
+let empty_symtab () = Symtab.create ~unit_name:"t" ~formal_order:[]
+
+let a_of_expr () =
+  let st = empty_symtab () in
+  let e = Ast.Bin (Ast.Add, Ast.Bin (Ast.Mul, Ast.Int_const 3, Ast.Var "i"),
+                   Ast.Bin (Ast.Sub, Ast.Var "j", Ast.Int_const 4)) in
+  match Affine.of_expr st e with
+  | Some a ->
+    check_int "coeff i" 3 (Affine.coeff_of "i" a);
+    check_int "coeff j" 1 (Affine.coeff_of "j" a);
+    check_int "const" (-4) (Affine.constant a)
+  | None -> Alcotest.fail "should be affine"
+
+let a_nonaffine () =
+  let st = empty_symtab () in
+  check "i*j is not affine" true
+    (Affine.of_expr st (Ast.Bin (Ast.Mul, Ast.Var "i", Ast.Var "j")) = None)
+
+let a_param_fold () =
+  let cu = unit_of "program p\n  parameter (n = 8)\n  integer i\n  i = n\nend\n" in
+  match Affine.of_expr cu.Sema.symtab (Ast.Bin (Ast.Mul, Ast.Var "n", Ast.Var "i")) with
+  | Some a -> check_int "n*i folds to 8i" 8 (Affine.coeff_of "i" a)
+  | None -> Alcotest.fail "n*i should fold"
+
+let a_roundtrip () =
+  let st = empty_symtab () in
+  let a = Affine.add (Affine.var ~coeff:2 "i") (Affine.const (-3)) in
+  match Affine.of_expr st (Affine.to_expr a) with
+  | Some a' -> check "to_expr/of_expr roundtrip" true (Affine.equal a a')
+  | None -> Alcotest.fail "roundtrip failed"
+
+(* --- Region --------------------------------------------------------------- *)
+
+let box lo1 hi1 lo2 hi2 =
+  Region.of_triplets [ Triplet.range lo1 hi1; Triplet.range lo2 hi2 ]
+
+let r_diff_frame () =
+  (* removing the interior of a square leaves a frame of 4 slabs *)
+  let outer = box 1 10 1 10 and inner = box 3 8 3 8 in
+  let frame = Region.diff outer inner in
+  check_int "frame count" (100 - 36) (Region.count frame);
+  check "disjoint from inner" true (Region.disjoint frame inner);
+  check "union restores" true (Region.equal (Region.union frame inner) outer)
+
+let r_subset () =
+  check "subset" true (Region.subset (box 2 3 2 3) (box 1 10 1 10));
+  check "not subset" false (Region.subset (box 0 3 2 3) (box 1 10 1 10))
+
+let r_simplify_merges () =
+  let a = box 1 5 1 10 and b = box 6 12 1 10 in
+  let u = Region.simplify (Region.union a b) in
+  check_int "merged to one box" 1 (List.length (Region.boxes u));
+  check_int "count preserved" 120 (Region.count u)
+
+let r_hull () =
+  let r = Region.union (box 1 2 1 2) (box 9 10 9 10) in
+  match Region.hull r with
+  | Some h ->
+    check_str "hull dim1" "[1:10]" (Triplet.to_string h.(0));
+    check_str "hull dim2" "[1:10]" (Triplet.to_string h.(1))
+  | None -> Alcotest.fail "hull of nonempty"
+
+(* --- CFG ------------------------------------------------------------------- *)
+
+let cfg_of src = Cfg.build (unit_of src).Sema.unit_.Ast.body
+
+let c_loop_backedge () =
+  let cfg = cfg_of "program p\n  integer i, s\n  do i = 1, 3\n    s = s + 1\n  enddo\nend\n" in
+  (* find the DO header and check it has a back edge from the body *)
+  let header = ref (-1) and body = ref (-1) in
+  for i = 0 to Cfg.length cfg - 1 do
+    match Cfg.node cfg i with
+    | Cfg.Stmt s -> (
+      match s.Ast.kind with
+      | Ast.Do _ -> header := i
+      | Ast.Assign _ -> body := i
+      | _ -> ())
+    | _ -> ()
+  done;
+  check "header -> body" true (List.mem !body (Cfg.succs cfg !header));
+  check "body -> header (back edge)" true (List.mem !header (Cfg.succs cfg !body));
+  check "header -> exit (zero trip)" true (List.mem Cfg.exit_ (Cfg.succs cfg !header))
+
+let c_if_join () =
+  let cfg =
+    cfg_of
+      "program p\n  real x\n  if (x > 0.0) then\n    x = 1.0\n  else\n    x = 2.0\n  endif\n  x = 3.0\nend\n"
+  in
+  (* the join statement must have two predecessors *)
+  let join = ref (-1) in
+  for i = 0 to Cfg.length cfg - 1 do
+    match Cfg.node cfg i with
+    | Cfg.Stmt { Ast.kind = Ast.Assign (_, Ast.Real_const 3.0); _ } -> join := i
+    | _ -> ()
+  done;
+  check_int "join preds" 2 (List.length (Cfg.preds cfg !join))
+
+let c_return_to_exit () =
+  let cfg = cfg_of "program p\n  real x\n  return\n  x = 1.0\nend\n" in
+  let ret = ref (-1) and after = ref (-1) in
+  for i = 0 to Cfg.length cfg - 1 do
+    match Cfg.node cfg i with
+    | Cfg.Stmt { Ast.kind = Ast.Return; _ } -> ret := i
+    | Cfg.Stmt { Ast.kind = Ast.Assign _; _ } -> after := i
+    | _ -> ()
+  done;
+  check "return -> exit only" true (Cfg.succs cfg !ret = [ Cfg.exit_ ]);
+  check "unreachable stmt has no preds" true (Cfg.preds cfg !after = [])
+
+(* --- Dataflow: classic liveness over the gen/kill engine ------------------- *)
+
+let d_genkill_liveness () =
+  (* x = 1; y = x; return: x live between def and use *)
+  let cfg =
+    cfg_of "program p\n  real x, y\n  x = 1.0\n  y = x\nend\n"
+  in
+  let module IS = Dataflow.Int_set in
+  (* facts: live "variable ids": x = 0, y = 1 *)
+  let var_id = function "x" -> 0 | "y" -> 1 | _ -> 2 in
+  let spec =
+    { Dataflow.Genkill.gen =
+        (fun _ node ->
+          match node with
+          | Cfg.Stmt { Ast.kind = Ast.Assign (_, Ast.Var v); _ } ->
+            IS.singleton (var_id v)
+          | _ -> IS.empty);
+      kill =
+        (fun _ node ->
+          match node with
+          | Cfg.Stmt { Ast.kind = Ast.Assign (Ast.Var v, _); _ } ->
+            IS.singleton (var_id v)
+          | _ -> IS.empty) }
+  in
+  let r = Dataflow.Genkill.solve ~direction:Dataflow.Backward ~init:IS.empty spec cfg in
+  (* at the def of x (output side, i.e. before it), x is not live; after it, x is live *)
+  let def_x = ref (-1) in
+  for i = 0 to Cfg.length cfg - 1 do
+    match Cfg.node cfg i with
+    | Cfg.Stmt { Ast.kind = Ast.Assign (Ast.Var "x", _); _ } -> def_x := i
+    | _ -> ()
+  done;
+  check "x live into its def's input (after stmt in exec order)" true
+    (IS.mem 0 r.Dataflow.Genkill.Solver.input.(!def_x));
+  check "x not live out of its def (backward output)" false
+    (IS.mem 0 r.Dataflow.Genkill.Solver.output.(!def_x))
+
+(* --- Sections --------------------------------------------------------------- *)
+
+let refs_of src =
+  let cu = unit_of src in
+  Sections.collect cu.Sema.symtab cu.Sema.unit_.Ast.body
+
+let s_collect () =
+  let refs =
+    refs_of
+      "program p\n  real a(10)\n  integer i\n  do i = 2, 9\n    a(i) = a(i-1) + a(i+1)\n  enddo\nend\n"
+  in
+  let writes = List.filter (fun r -> r.Sections.is_write) refs in
+  let reads = List.filter (fun r -> not r.Sections.is_write) refs in
+  check_int "one write" 1 (List.length writes);
+  check_int "two reads" 2 (List.length reads);
+  check_int "loop depth" 1 (List.length (List.hd writes).Sections.loops)
+
+let s_region_of_ref () =
+  let refs =
+    refs_of
+      "program p\n  real a(100)\n  integer i\n  do i = 1, 50\n    a(2*i) = 0.0\n  enddo\nend\n"
+  in
+  let w = List.find (fun r -> r.Sections.is_write) refs in
+  let region = Sections.region_of_ref ~declared:[ (1, 100) ] w in
+  check_int "strided region count" 50 (Region.count region);
+  check "even elements" true (Region.mem [| 4 |] region);
+  check "odd excluded" false (Region.mem [| 5 |] region)
+
+let s_triangular_widening () =
+  (* j's bounds depend on k: the region widens to the hull *)
+  let refs =
+    refs_of
+      "program p\n  real a(10,10)\n  integer k, j\n  do k = 1, 9\n    do j = k+1, 10\n      a(k,j) = 0.0\n    enddo\n  enddo\nend\n"
+  in
+  let w = List.find (fun r -> r.Sections.is_write) refs in
+  let region = Sections.region_of_ref ~declared:[ (1, 10); (1, 10) ] w in
+  check "covers (1,2)" true (Region.mem [| 1; 2 |] region);
+  check "hull includes (9,10)" true (Region.mem [| 9; 10 |] region)
+
+(* --- Dependence --------------------------------------------------------------- *)
+
+let dep_between src =
+  let refs = refs_of src in
+  let w = List.find (fun r -> r.Sections.is_write) refs in
+  let r = List.find (fun r -> not r.Sections.is_write) refs in
+  Dependence.true_dep w r
+
+let d_forward_shift_no_dep () =
+  (* a(i) = f(a(i+5)): read happens before write of same element -> no flow dep *)
+  let d =
+    dep_between
+      "program p\n  real a(100)\n  integer i\n  do i = 1, 95\n    a(i) = a(i+5)\n  enddo\nend\n"
+  in
+  check "not carried" true (d.Dependence.carried = []);
+  check "not loop independent" false d.Dependence.loop_independent
+
+let d_backward_shift_carried () =
+  (* a(i) = a(i-1): flow dep carried at level 1 with distance 1 *)
+  let d =
+    dep_between
+      "program p\n  real a(100)\n  integer i\n  do i = 2, 100\n    a(i) = a(i-1)\n  enddo\nend\n"
+  in
+  check "carried at level 1" true (d.Dependence.carried = [ 1 ])
+
+let d_2d_inner_carried () =
+  (* a(i,j) = a(i,j-1): carried at the inner (level 2) loop only *)
+  let d =
+    dep_between
+      "program p\n  real a(10,10)\n  integer i, j\n  do i = 1, 10\n    do j = 2, 10\n      a(i,j) = a(i,j-1)\n    enddo\n  enddo\nend\n"
+  in
+  check "carried at level 2" true (d.Dependence.carried = [ 2 ])
+
+let d_ziv_independent () =
+  let d =
+    dep_between
+      "program p\n  real a(100)\n  integer i\n  do i = 1, 100\n    a(1) = a(2)\n  enddo\nend\n"
+  in
+  check "ZIV disproves" true
+    (d.Dependence.carried = [] && not d.Dependence.loop_independent)
+
+let d_loop_independent () =
+  (* write a(i) then read a(i) in a later statement: loop-independent *)
+  let refs =
+    refs_of
+      "program p\n  real a(100), b(100)\n  integer i\n  do i = 1, 100\n    a(i) = 1.0\n    b(i) = a(i)\n  enddo\nend\n"
+  in
+  let w = List.find (fun r -> r.Sections.is_write && r.Sections.array = "a") refs in
+  let r =
+    List.find (fun r -> (not r.Sections.is_write) && r.Sections.array = "a") refs
+  in
+  let d = Dependence.true_dep w r in
+  check "loop independent" true d.Dependence.loop_independent;
+  check "not carried" true (d.Dependence.carried = [])
+
+let d_distance_exceeds_trip () =
+  (* distance 50 in a 10-trip loop: no dependence *)
+  let d =
+    dep_between
+      "program p\n  real a(100)\n  integer i\n  do i = 51, 60\n    a(i) = a(i-50)\n  enddo\nend\n"
+  in
+  check "clipped by trip count" true (d.Dependence.carried = [])
+
+let d_deepest_level () =
+  let refs =
+    refs_of
+      "program p\n  real a(100)\n  integer i\n  do i = 2, 100\n    a(i) = a(i-1)\n  enddo\nend\n"
+  in
+  let r = List.find (fun r -> not r.Sections.is_write) refs in
+  check "deepest = 1" true (Dependence.deepest_true_dep_level refs r = Some 1)
+
+let suite =
+  [
+    Alcotest.test_case "affine of_expr" `Quick a_of_expr;
+    Alcotest.test_case "affine rejects products" `Quick a_nonaffine;
+    Alcotest.test_case "affine folds parameters" `Quick a_param_fold;
+    Alcotest.test_case "affine expr roundtrip" `Quick a_roundtrip;
+    Alcotest.test_case "region diff leaves frame" `Quick r_diff_frame;
+    Alcotest.test_case "region subset" `Quick r_subset;
+    Alcotest.test_case "region simplify merges" `Quick r_simplify_merges;
+    Alcotest.test_case "region hull" `Quick r_hull;
+    Alcotest.test_case "cfg loop back edge" `Quick c_loop_backedge;
+    Alcotest.test_case "cfg if join" `Quick c_if_join;
+    Alcotest.test_case "cfg return to exit" `Quick c_return_to_exit;
+    Alcotest.test_case "dataflow liveness" `Quick d_genkill_liveness;
+    Alcotest.test_case "sections collect" `Quick s_collect;
+    Alcotest.test_case "sections strided region" `Quick s_region_of_ref;
+    Alcotest.test_case "sections triangular widening" `Quick s_triangular_widening;
+    Alcotest.test_case "dep forward shift vectorizable" `Quick d_forward_shift_no_dep;
+    Alcotest.test_case "dep backward shift carried" `Quick d_backward_shift_carried;
+    Alcotest.test_case "dep 2d inner carried" `Quick d_2d_inner_carried;
+    Alcotest.test_case "dep ziv independent" `Quick d_ziv_independent;
+    Alcotest.test_case "dep loop independent" `Quick d_loop_independent;
+    Alcotest.test_case "dep clipped by trip count" `Quick d_distance_exceeds_trip;
+    Alcotest.test_case "dep deepest level" `Quick d_deepest_level;
+  ]

@@ -1,0 +1,362 @@
+(* Core compiler tests: reaching decompositions (the paper's Figure 7
+   worked example), procedure cloning (Figure 8), closed-form fitting,
+   communication emission, dynamic-decomposition optimization passes,
+   overlap analysis, and recompilation analysis. *)
+
+open Fd_support
+open Fd_frontend
+open Fd_callgraph
+open Fd_core
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* --- Reaching decompositions (paper Figure 7) ---------------------------- *)
+
+let fig7_setup () =
+  let cp = Sema.check_source (Fd_workloads.Figures.fig4 ()) in
+  let acg = Acg.build cp in
+  (acg, Reaching_decomps.compute acg)
+
+let rd_fig7 () =
+  let _acg, rd = fig7_setup () in
+  (* Reaching(F1) must contain both the row and the column distribution
+     for the formal z (the paper's { (block,:), (:,block) } for Z) *)
+  let fact = Reaching_decomps.reaching_of rd "f1" in
+  match Reaching_decomps.SM.find_opt "z" fact with
+  | Some r ->
+    check_int "two decompositions reach z" 2 (Decomp.Set.cardinal r.Decomp.decomps);
+    let kinds =
+      List.map Decomp.to_string (Decomp.Set.elements r.Decomp.decomps)
+      |> List.sort compare
+    in
+    check_str "col" "((:,block))" (Fmt.str "(%s)" (List.nth kinds 0));
+    check_str "row" "((block,:))" (Fmt.str "(%s)" (List.nth kinds 1))
+  | None -> Alcotest.fail "no reaching info for z"
+
+let rd_align_permutation () =
+  (* ALIGN y(i,j) WITH d(j,i); DISTRIBUTE d(block,:) gives y (:,block) *)
+  let cp =
+    Sema.check_source
+      "program p\n  real y(4,4)\n  integer i\n  decomposition d(4,4)\n  align y(i,j) with d(j,i)\n  distribute d(block,:)\n  do i = 1, 4\n    y(1,i) = 0.0\n  enddo\nend\n"
+  in
+  let acg = Acg.build cp in
+  let rd = Reaching_decomps.compute acg in
+  let u = (Acg.proc acg "p").Acg.cu.Sema.unit_ in
+  (* find the assignment statement *)
+  let sid = ref (-1) in
+  Ast.iter_stmts
+    (fun s -> match s.Ast.kind with Ast.Assign _ -> sid := s.Ast.sid | _ -> ())
+    u.Ast.body;
+  match Reaching_decomps.unique_at rd "p" !sid "y" with
+  | Some d -> check_str "permuted distribution" "(:,block)" (Decomp.to_string d)
+  | None -> Alcotest.fail "no decomposition for y"
+
+let rd_dynamic_scoping () =
+  (* a DISTRIBUTE inside a callee must not leak into the caller *)
+  let src =
+    "program p\n  real x(8)\n  integer i\n  distribute x(block)\n  call f(x)\n  do i = 1, 8\n    x(i) = 0.0\n  enddo\nend\nsubroutine f(x)\n  real x(8)\n  distribute x(cyclic)\nend\n"
+  in
+  let cp = Sema.check_source src in
+  let acg = Acg.build cp in
+  let rd = Reaching_decomps.compute acg in
+  let u = (Acg.proc acg "p").Acg.cu.Sema.unit_ in
+  let sid = ref (-1) in
+  Ast.iter_stmts
+    (fun s -> match s.Ast.kind with Ast.Assign _ -> sid := s.Ast.sid | _ -> ())
+    u.Ast.body;
+  match Reaching_decomps.unique_at rd "p" !sid "x" with
+  | Some d -> check_str "callee change undone on return" "(block)" (Decomp.to_string d)
+  | None -> Alcotest.fail "no decomposition for x"
+
+(* --- Cloning (paper Figure 8) --------------------------------------------- *)
+
+let cl_fig4 () =
+  let cp = Sema.check_source (Fd_workloads.Figures.fig4 ()) in
+  let r = Cloning.apply Options.default cp in
+  check_int "one clone made" 1 r.Cloning.clones_made;
+  check_int "three units now" 3 (List.length r.Cloning.cp.Sema.units);
+  (* the clone's origin maps back to f1 *)
+  let clone =
+    List.find
+      (fun cu -> String.length cu.Sema.unit_.Ast.uname > 2)
+      r.Cloning.cp.Sema.units
+  in
+  check_str "origin" "f1" (Cloning.origin_of r clone.Sema.unit_.Ast.uname)
+
+let cl_no_clone_when_uniform () =
+  (* two calls with the same decomposition share one version *)
+  let src =
+    "program p\n  real x(8), y(8)\n  distribute x(block)\n  distribute y(block)\n  call f(x)\n  call f(y)\nend\nsubroutine f(z)\n  real z(8)\n  integer i\n  do i = 1, 8\n    z(i) = 0.0\n  enddo\nend\n"
+  in
+  let r = Cloning.apply Options.default (Sema.check_source src) in
+  check_int "no clones" 0 r.Cloning.clones_made
+
+let cl_filter_by_appear () =
+  (* differing decompositions on an *unreferenced* formal must not clone *)
+  let src =
+    "program p\n  real x(8), y(8)\n  integer i\n  distribute x(block)\n  distribute y(cyclic)\n  call f(x, y)\n  call f(y, x)\nend\nsubroutine f(a, b)\n  real a(8), b(8)\n  integer i\n  do i = 1, 8\n    a(i) = 0.0\n  enddo\nend\n"
+  in
+  (* b unreferenced: call signatures differ on a (block vs cyclic), so we
+     still get a clone for a, but not an extra one for b *)
+  let r = Cloning.apply Options.default (Sema.check_source src) in
+  check_int "one clone (for a only)" 1 r.Cloning.clones_made
+
+let cl_disabled () =
+  let cp = Sema.check_source (Fd_workloads.Figures.fig4 ()) in
+  let r = Cloning.apply { Options.default with Options.enable_cloning = false } cp in
+  check_int "cloning disabled" 0 r.Cloning.clones_made
+
+(* --- Closed-form fitting ---------------------------------------------------- *)
+
+let fit_linear_family () =
+  let sets = Array.init 4 (fun p -> Iset.range ((25 * p) + 1) ((25 * p) + 25)) in
+  match Fit.fit_procset_opt sets with
+  | Some { Fit.f_lo; f_hi; f_guard = None; _ } ->
+    check_str "lo" "25 * my$p + 1" (Ast_printer.expr_to_string f_lo);
+    check_str "hi" "25 * my$p + 25" (Ast_printer.expr_to_string f_hi)
+  | _ -> Alcotest.fail "expected guardless linear fit"
+
+let fit_min_clip () =
+  let sets = Array.init 4 (fun p -> Iset.range ((25 * p) + 1) (min 95 ((25 * p) + 25))) in
+  match Fit.fit_procset_opt sets with
+  | Some { Fit.f_hi; _ } ->
+    check_str "hi clipped" "min(25 * my$p + 25, 95)" (Ast_printer.expr_to_string f_hi)
+  | None -> Alcotest.fail "expected fit"
+
+let fit_empty_guard () =
+  (* only processors 1..3 have sets: fit must guard *)
+  let sets =
+    Array.init 4 (fun p -> if p = 0 then Iset.empty else Iset.range ((25 * p) + 1) ((25 * p) + 5))
+  in
+  match Fit.fit_procset_opt sets with
+  | Some { Fit.f_guard = Some g; _ } ->
+    check_str "guard" "my$p >= 1" (Ast_printer.expr_to_string g)
+  | _ -> Alcotest.fail "expected a guard"
+
+let fit_table_fallback () =
+  let values = [| 3; 1; 4; 1 |] in
+  let e = Fit.expr_of_values values in
+  check_str "tab fallback" "tab$(my$p, 3, 1, 4, 1)" (Ast_printer.expr_to_string e)
+
+let fit_guard_noncontiguous () =
+  match Fit.guard_of_mask [| true; false; true; false |] with
+  | Some g -> check_str "table guard" "tab$(my$p, 1, 0, 1, 0) == 1" (Ast_printer.expr_to_string g)
+  | None -> Alcotest.fail "expected guard"
+
+let fit_cyclic_family () =
+  let sets =
+    Array.init 4 (fun p -> Iset.of_triplet (Triplet.make ~lo:(p + 1) ~hi:16 ~step:4))
+  in
+  match Fit.fit_procset_opt sets with
+  | Some { Fit.f_lo; f_step; _ } ->
+    check_str "lo" "my$p + 1" (Ast_printer.expr_to_string f_lo);
+    check_str "step" "4" (Ast_printer.expr_to_string f_step)
+  | None -> Alcotest.fail "expected fit"
+
+(* --- Communication emission -------------------------------------------------- *)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let comm_shift_block () =
+  let layout =
+    { Fd_machine.Layout.bounds = [ (1, 100) ]; dist_dim = Some 0;
+      dist = Fd_machine.Layout.Block 25 }
+  in
+  let owned = Fd_machine.Layout.owned layout ~nprocs:4 in
+  (* every processor needs its block shifted by +5, clipped to the array *)
+  let need = Array.map (fun s -> Iset.inter (Iset.shift 5 s) (Iset.range 1 100)) owned in
+  let stmts =
+    Comm.emit_section_comm ~nprocs:4 ~tag:7 ~array:"x" ~owned ~dim:0 ~rank:1 ~need
+      ~other_dims:[]
+  in
+  (* one guarded send + one guarded recv *)
+  check_int "two guarded statements" 2 (List.length stmts);
+  let s = Fmt.str "%a" Fmt.(list ~sep:(any "") (Fd_machine.Node.pp_nstmt 0)) stmts in
+  check "send to left neighbor" true (contains s "to my$p - 1");
+  check "recv from right neighbor" true (contains s "from my$p + 1")
+
+let comm_local_no_messages () =
+  let layout =
+    { Fd_machine.Layout.bounds = [ (1, 100) ]; dist_dim = Some 0;
+      dist = Fd_machine.Layout.Block 25 }
+  in
+  let owned = Fd_machine.Layout.owned layout ~nprocs:4 in
+  let stmts =
+    Comm.emit_section_comm ~nprocs:4 ~tag:1 ~array:"x" ~owned ~dim:0 ~rank:1
+      ~need:owned ~other_dims:[]
+  in
+  check_int "no communication when local" 0 (List.length stmts)
+
+let comm_owner_exprs () =
+  let block =
+    { Fd_machine.Layout.bounds = [ (1, 100) ]; dist_dim = Some 0;
+      dist = Fd_machine.Layout.Block 25 }
+  in
+  check_str "block owner" "min((k - 1) / 25, 3)"
+    (Ast_printer.expr_to_string (Comm.owner_expr ~nprocs:4 block (Ast.Var "k")));
+  let cyc =
+    { Fd_machine.Layout.bounds = [ (1, 100) ]; dist_dim = Some 0;
+      dist = Fd_machine.Layout.Cyclic }
+  in
+  check_str "cyclic owner" "mod(k - 1, 4)"
+    (Ast_printer.expr_to_string (Comm.owner_expr ~nprocs:4 cyc (Ast.Var "k")))
+
+(* --- Dynamic decomposition passes --------------------------------------------- *)
+
+let remap_counts level =
+  let opts = { Options.default with Options.remap_level = level } in
+  let r = Driver.run_source ~opts (Fd_workloads.Figures.fig15 ~n:64 ~t:10 ()) in
+  assert (Driver.verified r);
+  ( r.Driver.stats.Fd_machine.Stats.remaps,
+    r.Driver.stats.Fd_machine.Stats.remap_marks )
+
+let dd_ladder () =
+  let none_p, _ = remap_counts Options.Remap_none in
+  let live_p, _ = remap_counts Options.Remap_live in
+  let hoist_p, _ = remap_counts Options.Remap_hoist in
+  let kill_p, kill_m = remap_counts Options.Remap_kill in
+  (* 4T+2 / 2T+2 / 4 / 2+2 for T=10 *)
+  check_int "none level: 4T+2" 42 none_p;
+  check_int "live level: 2T+2" 22 live_p;
+  check_int "hoist level: 4" 4 hoist_p;
+  check_int "kill level physical" 2 kill_p;
+  check_int "kill level mark-only" 2 kill_m
+
+let dd_results_equal_across_levels () =
+  let src = Fd_workloads.Figures.fig15 ~n:32 ~t:3 () in
+  List.iter
+    (fun level ->
+      let opts = { Options.default with Options.remap_level = level } in
+      let r = Driver.run_source ~opts src in
+      check "verified at every level" true (Driver.verified r))
+    [ Options.Remap_none; Options.Remap_live; Options.Remap_hoist; Options.Remap_kill ]
+
+(* --- Overlap analysis ------------------------------------------------------------ *)
+
+let ov_estimate_vs_actual () =
+  let cp = Sema.check_source (Fd_workloads.Stencil.shifts ~n:64 ~widths:[ 2; 4 ] ()) in
+  let rows = Overlap.analyze Options.default cp in
+  let top = List.find (fun r -> r.Overlap.ov_proc = "shifts" && r.Overlap.ov_array = "x") rows in
+  check_int "estimate pos" 4 top.Overlap.ov_estimated.Overlap.pos;
+  check_int "actual pos" 4 top.Overlap.ov_actual.Overlap.pos;
+  check_int "no negative overlap" 0 top.Overlap.ov_estimated.Overlap.neg
+
+let ov_estimate_superset () =
+  (* estimated >= actual everywhere (the paper's imprecision direction) *)
+  let cp = Sema.check_source (Fd_workloads.Figures.fig4 ()) in
+  let rows = Overlap.analyze Options.default cp in
+  List.iter
+    (fun r ->
+      check "pos" true (r.Overlap.ov_estimated.Overlap.pos >= r.Overlap.ov_actual.Overlap.pos);
+      check "neg" true (r.Overlap.ov_estimated.Overlap.neg >= r.Overlap.ov_actual.Overlap.neg))
+    rows
+
+(* --- Recompilation analysis ------------------------------------------------------ *)
+
+let rc_noop () =
+  let src = Fd_workloads.Dgefa.source ~n:8 () in
+  let r, _total = Recompile.after_edit ~before:src ~after:src () in
+  check_int "no-op edit recompiles nothing" 0 (List.length r)
+
+let rc_body_edit_local () =
+  let before = Fd_workloads.Dgefa.source ~n:8 () in
+  let after =
+    Str.global_replace
+      (Str.regexp_string "a(i,j) = a(i,j) + a(k,j) * a(i,k)")
+      "a(i,j) = a(i,j) + 2.0 * a(k,j) * a(i,k)" before
+  in
+  let r, _ = Recompile.after_edit ~before ~after () in
+  check "only daxpy recompiles" true (r = [ "daxpy" ])
+
+let rc_distribution_edit_global () =
+  let before = Fd_workloads.Dgefa.source ~n:8 () in
+  let after =
+    Str.global_replace (Str.regexp_string "distribute a(:,cyclic)")
+      "distribute a(:,block)" before
+  in
+  let r, total = Recompile.after_edit ~before ~after () in
+  check_int "everything recompiles" total (List.length r)
+
+let rc_export_change_propagates () =
+  (* making dscal touch column k+1 as well changes its constraint, which
+     must force the caller to recompile *)
+  let before = Fd_workloads.Dgefa.source ~n:8 () in
+  let after =
+    Str.global_replace
+      (Str.regexp_string "a(i,k) = -a(i,k) / t")
+      "a(i,k) = -a(i,k) / t\n    a(i,k) = a(i,k) + 0.0" before
+  in
+  let r, _ = Recompile.after_edit ~before ~after () in
+  check "dscal recompiles" true (List.mem "dscal" r)
+
+let suite =
+  [
+    Alcotest.test_case "reaching decomps fig7" `Quick rd_fig7;
+    Alcotest.test_case "reaching align permutation" `Quick rd_align_permutation;
+    Alcotest.test_case "reaching dynamic scoping" `Quick rd_dynamic_scoping;
+    Alcotest.test_case "cloning fig4" `Quick cl_fig4;
+    Alcotest.test_case "no clone when uniform" `Quick cl_no_clone_when_uniform;
+    Alcotest.test_case "clone filtered by Appear" `Quick cl_filter_by_appear;
+    Alcotest.test_case "cloning disabled" `Quick cl_disabled;
+    Alcotest.test_case "fit linear family" `Quick fit_linear_family;
+    Alcotest.test_case "fit min clip" `Quick fit_min_clip;
+    Alcotest.test_case "fit empty guard" `Quick fit_empty_guard;
+    Alcotest.test_case "fit table fallback" `Quick fit_table_fallback;
+    Alcotest.test_case "fit noncontiguous guard" `Quick fit_guard_noncontiguous;
+    Alcotest.test_case "fit cyclic family" `Quick fit_cyclic_family;
+    Alcotest.test_case "comm shift block" `Quick comm_shift_block;
+    Alcotest.test_case "comm local needs no messages" `Quick comm_local_no_messages;
+    Alcotest.test_case "comm owner expressions" `Quick comm_owner_exprs;
+    Alcotest.test_case "dynamic decomp ladder" `Quick dd_ladder;
+    Alcotest.test_case "dynamic decomp levels all verify" `Quick dd_results_equal_across_levels;
+    Alcotest.test_case "overlap estimate vs actual" `Quick ov_estimate_vs_actual;
+    Alcotest.test_case "overlap estimate is superset" `Quick ov_estimate_superset;
+    Alcotest.test_case "recompile no-op" `Quick rc_noop;
+    Alcotest.test_case "recompile body edit local" `Quick rc_body_edit_local;
+    Alcotest.test_case "recompile distribution global" `Quick rc_distribution_edit_global;
+    Alcotest.test_case "recompile export change" `Quick rc_export_change_propagates;
+  ]
+
+(* --- Aliasing (Section 6.4) -------------------------------------------------- *)
+
+let alias_rejected () =
+  (* x aliased through both formals of f, and f redistributes one of them *)
+  let src =
+    "program p\n  real x(8)\n  integer i\n  distribute x(block)\n  call f(x, x)\nend\nsubroutine f(a, b)\n  real a(8), b(8)\n  integer i\n  distribute a(cyclic)\n  do i = 1, 8\n    a(i) = b(i)\n  enddo\nend\n"
+  in
+  check "rejected" true
+    (match Driver.compile_source src with
+    | _ -> false
+    | exception Diag.Compile_error _ -> true)
+
+let alias_allowed_without_redistribution () =
+  let src =
+    "program p\n  real x(8)\n  integer i\n  distribute x(block)\n  do i = 1, 8\n    x(i) = float(i)\n  enddo\n  call f(x, x)\n  print *, x(1)\nend\nsubroutine f(a, b)\n  real a(8), b(8)\n  integer i\n  do i = 1, 8\n    a(i) = a(i) + 0.0 * b(i)\n  enddo\nend\n"
+  in
+  let r = Driver.run_source src in
+  check "aliasing without redistribution still runs" true (Driver.verified r)
+
+let alias_transitive_redistribution () =
+  (* g forwards its formal to f which redistributes: still rejected *)
+  let src =
+    "program p\n  real x(8)\n  distribute x(block)\n  call g(x, x)\nend\nsubroutine g(a, b)\n  real a(8), b(8)\n  call f(a)\n  call f(b)\nend\nsubroutine f(c)\n  real c(8)\n  integer i\n  distribute c(cyclic)\n  do i = 1, 8\n    c(i) = 0.0\n  enddo\nend\n"
+  in
+  check "transitive redistribution rejected" true
+    (match Driver.compile_source src with
+    | _ -> false
+    | exception Diag.Compile_error _ -> true)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "aliasing + redistribution rejected" `Quick alias_rejected;
+      Alcotest.test_case "aliasing without redistribution ok" `Quick
+        alias_allowed_without_redistribution;
+      Alcotest.test_case "aliasing transitive redistribution" `Quick
+        alias_transitive_redistribution;
+    ]

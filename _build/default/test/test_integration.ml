@@ -1,0 +1,508 @@
+(* End-to-end integration tests: every workload compiles under every
+   strategy, simulates deterministically, and produces array contents
+   identical to sequential execution.  Also checks the quantitative
+   relationships the paper predicts, and a property test over randomized
+   stencil programs. *)
+
+open Fd_core
+open Fd_machine
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let strategies = [ Options.Interproc; Options.Immediate; Options.Runtime_resolution ]
+
+let run ?(nprocs = 4) ?(strategy = Options.Interproc) src =
+  Driver.run_source ~opts:{ Options.default with nprocs; strategy } src
+
+let verified_case name src =
+  Alcotest.test_case name `Quick (fun () ->
+      List.iter
+        (fun strategy ->
+          let r = run ~strategy src in
+          if not (Driver.verified r) then
+            Alcotest.failf "%s under %s: %d mismatches" name
+              (Options.strategy_name strategy)
+              (List.length r.Driver.mismatches))
+        strategies)
+
+let workload_cases =
+  [
+    verified_case "fig1 all strategies" (Fd_workloads.Figures.fig1 ());
+    verified_case "fig4 all strategies" (Fd_workloads.Figures.fig4 ());
+    verified_case "fig15 all strategies" (Fd_workloads.Figures.fig15 ~n:32 ~t:4 ());
+    verified_case "dgefa all strategies" (Fd_workloads.Dgefa.source ~n:12 ());
+    verified_case "jacobi1d all strategies" (Fd_workloads.Stencil.jacobi1d ~n:64 ~t:3 ());
+    verified_case "jacobi2d all strategies" (Fd_workloads.Stencil.jacobi2d ~n:16 ~t:2 ());
+    verified_case "redblack all strategies" (Fd_workloads.Stencil.redblack ~n:64 ~t:3 ());
+    verified_case "shifts all strategies"
+      (Fd_workloads.Stencil.shifts ~n:64 ~widths:[ 1; 2; 3 ] ());
+  ]
+
+(* --- Quantitative relationships the paper predicts ------------------------- *)
+
+let msgs r = r.Driver.stats.Stats.messages
+let bcasts r = r.Driver.stats.Stats.bcasts
+let elapsed r = Stats.elapsed r.Driver.stats
+
+let q_fig4_vectorization () =
+  (* interprocedural: one vectorized message pair per neighbor;
+     immediate: one per loop iteration (the 100x of Figures 10 vs 12) *)
+  let ip = run ~strategy:Options.Interproc (Fd_workloads.Figures.fig4 ~n:100 ()) in
+  let im = run ~strategy:Options.Immediate (Fd_workloads.Figures.fig4 ~n:100 ()) in
+  check_int "interproc: 3 vectorized messages" 3 (msgs ip);
+  check_int "immediate: 100x messages" 300 (msgs im);
+  check "interproc faster" true (elapsed ip < elapsed im)
+
+let q_runtime_res_orders_of_magnitude () =
+  let ip = run ~strategy:Options.Interproc (Fd_workloads.Figures.fig1 ~n:400 ()) in
+  let rr = run ~strategy:Options.Runtime_resolution (Fd_workloads.Figures.fig1 ~n:400 ()) in
+  (* element messages: one per boundary element instead of one vectorized
+     message per boundary *)
+  check "element messages" true (msgs rr = 5 * msgs ip);
+  check "slower" true (elapsed rr > 2.0 *. elapsed ip)
+
+let q_dgefa_ordering () =
+  let src = Fd_workloads.Dgefa.source ~n:16 () in
+  let ip = run ~strategy:Options.Interproc src in
+  let im = run ~strategy:Options.Immediate src in
+  let rr = run ~strategy:Options.Runtime_resolution src in
+  check "interproc < immediate" true (elapsed ip < elapsed im);
+  check "immediate < runtime-res" true (elapsed im < elapsed rr);
+  (* interprocedural: ~3 collectives per elimination step *)
+  check "O(n) collectives" true (bcasts ip <= 3 * 16 + 2);
+  check "immediate has O(n^2/2) extra broadcasts" true (bcasts im > 2 * bcasts ip)
+
+let q_dgefa_matches_native_lu () =
+  let n = 16 in
+  let r = run (Fd_workloads.Dgefa.source ~n ()) in
+  assert (Driver.verified r);
+  let reference, _ = Fd_workloads.Dgefa.reference_lu n in
+  let a = List.assoc "a" r.Driver.seq.Seq_interp.arrays in
+  for i = 1 to n do
+    for j = 1 to n do
+      let v = Value.to_float (Storage.read ~strict:false a [| i; j |]) in
+      if Float.abs (v -. reference.(i - 1).(j - 1)) > 1e-9 then
+        Alcotest.failf "LU mismatch at (%d,%d): %g vs %g" i j v
+          reference.(i - 1).(j - 1)
+    done
+  done
+
+let q_scaling_procs () =
+  (* more processors -> shorter simulated time for a large-enough stencil *)
+  let src = Fd_workloads.Stencil.jacobi1d ~n:2048 ~t:4 () in
+  let t2 = elapsed (run ~nprocs:2 src) in
+  let t8 = elapsed (run ~nprocs:8 src) in
+  check "scales with processors" true (t8 < t2)
+
+let q_collectives_ablation () =
+  (* disabling broadcast recognition turns each bcast into P-1 messages *)
+  let src = Fd_workloads.Dgefa.source ~n:12 () in
+  let with_coll = run src in
+  let without =
+    Driver.run_source
+      ~opts:{ Options.default with Options.use_collectives = false }
+      src
+  in
+  check "both verified" true (Driver.verified with_coll && Driver.verified without);
+  check "no-collectives sends messages instead" true
+    (msgs without > msgs with_coll + bcasts with_coll);
+  check "tree broadcasts are faster" true (elapsed with_coll <= elapsed without)
+
+let q_nprocs_sweep () =
+  List.iter
+    (fun p ->
+      let r = run ~nprocs:p (Fd_workloads.Figures.fig1 ~n:96 ()) in
+      check (Fmt.str "P=%d verified" p) true (Driver.verified r))
+    [ 1; 2; 3; 4; 6; 8 ]
+
+let q_uneven_extent () =
+  (* extent not divisible by P exercises ragged blocks *)
+  List.iter
+    (fun n ->
+      let r = run ~nprocs:4 (Fd_workloads.Figures.fig1 ~n ~shift:3 ()) in
+      check (Fmt.str "n=%d verified" n) true (Driver.verified r))
+    [ 97; 101; 103 ]
+
+let q_negative_shift () =
+  let src =
+    "program p\n  parameter (n = 64)\n  real x(64)\n  integer i\n  distribute x(block)\n  do i = 1, n\n    x(i) = float(i)\n  enddo\n  call f(x)\n  print *, x(n)\nend\nsubroutine f(x)\n  parameter (n = 64)\n  real x(64)\n  integer i\n  do i = 2, n\n    x(i) = x(i-1) + x(i)\n  enddo\nend\n"
+  in
+  (* backward shift carries a true dependence: compiler must fall back to
+     run-time resolution for that statement and stay correct *)
+  let r = run src in
+  check "carried-dependence fallback verified" true (Driver.verified r)
+
+(* --- Randomized stencil property test --------------------------------------- *)
+
+let gen_program =
+  QCheck2.Gen.(
+    let* n = int_range 16 48 in
+    let* dist = oneofl [ "block"; "cyclic" ] in
+    let* shifts = list_size (int_range 1 4) (int_range 0 3) in
+    let* in_subroutine = bool in
+    return (n, dist, shifts, in_subroutine))
+
+let build_program (n, dist, shifts, in_subroutine) =
+  (* alternating sweeps b <- f(a shifted), then swap roles via copy *)
+  let ops =
+    List.mapi
+      (fun idx c ->
+        if in_subroutine then Fmt.str "  call op%d(a, b)\n  call cp(b, a)" idx
+        else
+          Fmt.str
+            "  do i = 1, n - %d\n    b(i) = a(i+%d) + 0.5\n  enddo\n  do i = 1, n\n    a(i) = b(i)\n  enddo"
+            c c)
+      shifts
+  in
+  let subs =
+    if in_subroutine then
+      List.mapi
+        (fun idx c ->
+          Fmt.str
+            "subroutine op%d(a, b)\n  parameter (n = %d)\n  real a(%d), b(%d)\n  integer i\n  do i = 1, n - %d\n    b(i) = a(i+%d) + 0.5\n  enddo\nend\n"
+            idx n n n c c)
+        shifts
+      @ [ Fmt.str
+            "subroutine cp(b, a)\n  parameter (n = %d)\n  real a(%d), b(%d)\n  integer i\n  do i = 1, n\n    a(i) = b(i)\n  enddo\nend\n"
+            n n n ]
+    else []
+  in
+  Fmt.str
+    "program r\n  parameter (n = %d)\n  real a(%d), b(%d)\n  integer i\n  distribute a(%s)\n  distribute b(%s)\n  do i = 1, n\n    a(i) = float(mod(i*7, 11))\n    b(i) = 0.0\n  enddo\n%s\n  print *, a(1)\nend\n%s"
+    n n n dist dist
+    (String.concat "\n" ops)
+    (String.concat "" subs)
+
+let prop_random_stencils =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:25 ~name:"random stencil programs verify under all strategies"
+       gen_program
+       (fun params ->
+         let src = build_program params in
+         List.for_all
+           (fun strategy ->
+             let r = run ~strategy src in
+             Driver.verified r)
+           strategies))
+
+let suite =
+  workload_cases
+  @ [
+      Alcotest.test_case "fig4 cross-procedure vectorization" `Quick q_fig4_vectorization;
+      Alcotest.test_case "runtime resolution cost" `Quick q_runtime_res_orders_of_magnitude;
+      Alcotest.test_case "dgefa strategy ordering" `Quick q_dgefa_ordering;
+      Alcotest.test_case "dgefa equals native LU" `Quick q_dgefa_matches_native_lu;
+      Alcotest.test_case "processor scaling" `Quick q_scaling_procs;
+      Alcotest.test_case "collectives ablation" `Quick q_collectives_ablation;
+      Alcotest.test_case "nprocs sweep" `Quick q_nprocs_sweep;
+      Alcotest.test_case "uneven extents" `Quick q_uneven_extent;
+      Alcotest.test_case "carried dependence fallback" `Quick q_negative_shift;
+      prop_random_stencils;
+    ]
+
+(* --- ADI: dynamic remapping vs static distribution --------------------------- *)
+
+let adi_both_verify () =
+  let dyn = run (Fd_workloads.Adi.dynamic ~n:16 ~t:2 ()) in
+  let sta = run (Fd_workloads.Adi.static_ ~n:16 ~t:2 ()) in
+  check "dynamic verified" true (Driver.verified dyn);
+  check "static verified" true (Driver.verified sta);
+  (* the two variants compute the same answer *)
+  check "same output" true
+    (Stats.outputs dyn.Driver.stats = Stats.outputs sta.Driver.stats);
+  (* dynamic uses remaps and no messages; static uses element messages *)
+  check "dynamic has remaps" true (dyn.Driver.stats.Stats.remaps > 0);
+  check_int "dynamic needs no messages" 0 (msgs dyn);
+  check "static pays element messages" true (msgs sta > 0)
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "adi dynamic vs static" `Quick adi_both_verify ]
+
+(* --- Seeded fuzzing over the Gen workload generator --------------------------- *)
+
+let fuzz_gen () =
+  let st = Random.State.make [| 0x5eed |] in
+  for _case = 1 to 40 do
+    let src = Fd_workloads.Gen.random_source st in
+    List.iter
+      (fun strategy ->
+        match run ~strategy src with
+        | r ->
+          if not (Driver.verified r) then
+            Alcotest.failf "fuzz mismatch under %s for:\n%s"
+              (Options.strategy_name strategy) src
+        | exception e ->
+          Alcotest.failf "fuzz exception (%s) under %s for:\n%s"
+            (Printexc.to_string e)
+            (Options.strategy_name strategy) src)
+      strategies
+  done
+
+let fuzz_nprocs () =
+  let st = Random.State.make [| 0xfeed |] in
+  for _case = 1 to 10 do
+    let src = Fd_workloads.Gen.random_source st in
+    List.iter
+      (fun p ->
+        let r = run ~nprocs:p src in
+        if not (Driver.verified r) then
+          Alcotest.failf "fuzz mismatch at P=%d for:\n%s" p src)
+      [ 1; 2; 3; 5; 8 ]
+  done
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "fuzz: generated programs x strategies" `Slow fuzz_gen;
+      Alcotest.test_case "fuzz: generated programs x nprocs" `Slow fuzz_nprocs;
+    ]
+
+(* --- Block-cyclic distribution end to end ------------------------------------- *)
+
+let block_cyclic_e2e () =
+  let src =
+    "program p\n  parameter (n = 24)\n  real x(24)\n  integer i\n  distribute x(block_cyclic(3))\n  do i = 1, n\n    x(i) = float(i)\n  enddo\n  call f(x)\n  print *, x(1)\nend\nsubroutine f(x)\n  parameter (n = 24)\n  real x(24)\n  integer i\n  do i = 1, n - 3\n    x(i) = x(i+3) + 1.0\n  enddo\nend\n"
+  in
+  List.iter
+    (fun strategy ->
+      let r = run ~strategy src in
+      check (Fmt.str "block_cyclic %s" (Options.strategy_name strategy)) true
+        (Driver.verified r))
+    strategies
+
+(* --- Golden SPMD output for the paper's Figure 1/2 ----------------------------- *)
+
+let golden_fig1 () =
+  let compiled =
+    Driver.compile_source
+      ~opts:{ Options.default with Options.nprocs = 4 }
+      (Fd_workloads.Figures.fig1 ~n:100 ~shift:5 ())
+  in
+  let text = Node.program_to_string compiled.Codegen.program in
+  let expects =
+    [ (* reduced loop bounds with the boundary clip (paper's ub$1) *)
+      "do i = 25 * my$p + 1, min(25 * my$p + 25, 95)";
+      (* vectorized guarded boundary exchange, hoisted into the caller *)
+      "send x(25 * my$p + 1:25 * my$p + 5) to my$p - 1";
+      "if (my$p >= 1) then";
+      "recv from my$p + 1";
+      "if (my$p <= 2) then" ]
+  in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      if not (contains text needle) then
+        Alcotest.failf "generated SPMD lacks %S:\n%s" needle text)
+    expects
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "block-cyclic end to end" `Quick block_cyclic_e2e;
+      Alcotest.test_case "golden fig1 SPMD output" `Quick golden_fig1;
+    ]
+
+(* --- Edge cases: tiny extents, big shifts, empty processors ------------------- *)
+
+let edge_cases () =
+  let cases =
+    [ ("n=3 P=4 (empty procs)", Fd_workloads.Figures.fig1 ~n:3 ~shift:1 ());
+      ("n=7 P=4 (ragged)", Fd_workloads.Figures.fig1 ~n:7 ~shift:1 ());
+      ("shift > block", Fd_workloads.Figures.fig1 ~n:16 ~shift:5 ());
+      ("shift = n-1", Fd_workloads.Figures.fig1 ~n:8 ~shift:7 ());
+      ("both shifts",
+       "program p\n  parameter (n = 32)\n  real a(32), b(32)\n  integer i\n  distribute a(block)\n  distribute b(block)\n  do i = 1, n\n    a(i) = float(i)\n    b(i) = 0.0\n  enddo\n  call f(a, b)\n  print *, b(16)\nend\nsubroutine f(a, b)\n  parameter (n = 32)\n  real a(32), b(32)\n  integer i\n  do i = 2, n-1\n    b(i) = a(i-1) + a(i+1)\n  enddo\nend\n");
+      ("cyclic tiny",
+       "program p\n  real x(3)\n  integer i\n  distribute x(cyclic)\n  do i = 1, 3\n    x(i) = float(i)\n  enddo\n  call f(x)\n  print *, x(1)\nend\nsubroutine f(x)\n  real x(3)\n  integer i\n  do i = 1, 3\n    x(i) = x(i) * 2.0\n  enddo\nend\n");
+      ("zero-trip partitioned loop",
+       "program p\n  parameter (n = 8)\n  real x(8)\n  integer i\n  distribute x(block)\n  do i = 5, 4\n    x(i) = 1.0\n  enddo\n  do i = 1, n\n    x(i) = float(i)\n  enddo\n  print *, x(8)\nend\n") ]
+  in
+  List.iter
+    (fun (name, src) ->
+      let r = run src in
+      if not (Driver.verified r) then Alcotest.failf "%s failed verification" name)
+    cases;
+  (* one processor: everything local, zero messages *)
+  let r1 = run ~nprocs:1 (Fd_workloads.Dgefa.source ~n:8 ()) in
+  check "P=1 verified" true (Driver.verified r1);
+  check_int "P=1 sends nothing" 0 (msgs r1)
+
+let suite = suite @ [ Alcotest.test_case "edge cases" `Quick edge_cases ]
+
+let fuzz_gen_2d () =
+  let st = Random.State.make [| 0x2d2d |] in
+  for _case = 1 to 25 do
+    let src = Fd_workloads.Gen.random_source2d st in
+    List.iter
+      (fun strategy ->
+        match run ~strategy src with
+        | r ->
+          if not (Driver.verified r) then
+            Alcotest.failf "2D fuzz mismatch under %s for:\n%s"
+              (Options.strategy_name strategy) src
+        | exception e ->
+          Alcotest.failf "2D fuzz exception (%s) under %s for:\n%s"
+            (Printexc.to_string e)
+            (Options.strategy_name strategy) src)
+      strategies
+  done
+
+let suite =
+  suite @ [ Alcotest.test_case "fuzz: 2D generated programs" `Slow fuzz_gen_2d ]
+
+(* --- Message aggregation (paper Fig. 11) --------------------------------------- *)
+
+let aggregation_ablation () =
+  let src = Fd_workloads.Stencil.multi_array ~n:64 ~t:2 () in
+  let with_agg = run src in
+  let without =
+    Driver.run_source
+      ~opts:{ Options.default with Options.aggregate_messages = false }
+      src
+  in
+  check "both verified" true (Driver.verified with_agg && Driver.verified without);
+  (* three same-direction transfers merge into one message per pair *)
+  check_int "aggregated" 6 (msgs with_agg);
+  check_int "unaggregated" 18 (msgs without);
+  check_int "same volume" without.Driver.stats.Stats.message_bytes
+    with_agg.Driver.stats.Stats.message_bytes;
+  check "aggregation is faster" true (elapsed with_agg < elapsed without)
+
+let aggregation_all_strategies () =
+  let src = Fd_workloads.Stencil.multi_array ~n:32 ~t:2 () in
+  List.iter
+    (fun strategy ->
+      let r = run ~strategy src in
+      check (Options.strategy_name strategy) true (Driver.verified r))
+    strategies
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "message aggregation ablation" `Quick aggregation_ablation;
+      Alcotest.test_case "multi-array workload strategies" `Quick aggregation_all_strategies;
+    ]
+
+(* --- Multi-level call chains ----------------------------------------------------- *)
+
+let chain_src = {|
+program p
+  parameter (n = 64)
+  real a(64), b(64)
+  integer i, it
+  distribute a(block)
+  distribute b(block)
+  do i = 1, n
+    a(i) = float(i)
+    b(i) = 0.0
+  enddo
+  do it = 1, 3
+    call g(a, b)
+  enddo
+  print *, b(1), b(n-1)
+end
+
+subroutine g(a, b)
+  parameter (n = 64)
+  real a(64), b(64)
+  integer i
+  call op(a, b)
+  do i = 1, n
+    a(i) = b(i)
+  enddo
+end
+
+subroutine op(a, b)
+  parameter (n = 64)
+  real a(64), b(64)
+  integer i
+  do i = 1, n-2
+    b(i) = a(i+2) * 0.5
+  enddo
+end
+|}
+
+let owner_chain_src = {|
+program p
+  parameter (n = 32)
+  real a(32,32)
+  integer k, l
+  distribute a(:,cyclic)
+  do k = 1, n
+    do l = 1, n
+      a(l,k) = float(mod(l*3+k, 7))
+    enddo
+  enddo
+  do k = 1, n
+    call outer(a, k)
+  enddo
+  print *, a(1,1)
+end
+
+subroutine outer(a, k)
+  parameter (n = 32)
+  real a(32,32)
+  integer k, l
+  call finder(a, k, l)
+  call scaler(a, k, l)
+end
+
+subroutine finder(a, k, l)
+  parameter (n = 32)
+  real a(32,32)
+  integer k, l, i
+  l = 1
+  do i = 2, n
+    if (a(i,k) > a(l,k)) then
+      l = i
+    endif
+  enddo
+end
+
+subroutine scaler(a, k, l)
+  parameter (n = 32)
+  real a(32,32)
+  integer k, l, i
+  do i = 1, n
+    a(i,k) = a(i,k) / (a(l,k) + 1.0)
+  enddo
+end
+|}
+
+let chain_two_level () =
+  List.iter
+    (fun strategy ->
+      let r = run ~strategy chain_src in
+      check (Options.strategy_name strategy) true (Driver.verified r))
+    strategies
+
+let chain_owner_composes () =
+  (* the owner(k) constraint composes through three call levels: the
+     whole subtree runs on one processor with no communication at all *)
+  let r = run owner_chain_src in
+  check "verified" true (Driver.verified r);
+  check_int "zero messages" 0 (msgs r);
+  check_int "only the print broadcast" 1 (bcasts r);
+  (* the composed constraint is exported by outer itself *)
+  (match (Codegen.export_of r.Driver.compiled.Codegen.state "outer").Exports.ex_constraint with
+  | Exports.C_owner { co_array = "a"; co_dim = 1; _ } -> ()
+  | _ -> Alcotest.fail "outer should compose the owner constraint");
+  List.iter
+    (fun strategy ->
+      let r = run ~strategy owner_chain_src in
+      check (Options.strategy_name strategy) true (Driver.verified r))
+    [ Options.Immediate; Options.Runtime_resolution ]
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "two-level call chain" `Quick chain_two_level;
+      Alcotest.test_case "owner constraint composes through chain" `Quick
+        chain_owner_composes;
+    ]

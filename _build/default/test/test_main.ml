@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "fortran-d"
+    [
+      ("support", Test_support.suite);
+      ("frontend", Test_frontend.suite);
+      ("analysis", Test_analysis.suite);
+      ("callgraph", Test_callgraph.suite);
+      ("core", Test_core.suite);
+      ("machine", Test_machine.suite);
+      ("units2", Test_units2.suite);
+      ("units3", Test_units3.suite);
+      ("common", Test_common.suite);
+      ("units4", Test_units4.suite);
+      ("properties", Test_properties.suite);
+      ("integration", Test_integration.suite);
+    ]

@@ -1,0 +1,195 @@
+(* Deeper property-based tests: the dependence tester against brute-force
+   iteration enumeration, region algebra against element-wise semantics,
+   and closed-form fitting against direct evaluation. *)
+
+open Fd_support
+open Fd_frontend
+open Fd_analysis
+
+let prop ?(count = 300) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen f)
+
+(* --- Dependence vs brute force ------------------------------------------ *)
+
+(* One loop, one statement: a(i + cw) = ... a(i + cr) ...  Brute-force the
+   flow dependences and check true_dep covers them (it may be
+   conservative, never unsound). *)
+let dep_case_gen =
+  QCheck2.Gen.(
+    let* lo = int_range 1 5 in
+    let* trip = int_range 1 20 in
+    let* cw = int_range 0 6 in
+    let* cr = int_range 0 6 in
+    return (lo, lo + trip - 1, cw, cr))
+
+let brute_force_flow (lo, hi, cw, cr) =
+  (* is there a write iteration i1 and read iteration i2 with i1 < i2 and
+     i1 + cw = i2 + cr?  (same-iteration read happens before write here,
+     so equality does not create a flow dependence) *)
+  let carried = ref false in
+  for i1 = lo to hi do
+    for i2 = lo to hi do
+      if i1 < i2 && i1 + cw = i2 + cr then carried := true
+    done
+  done;
+  !carried
+
+let make_refs (lo, hi, cw, cr) =
+  let src =
+    Fmt.str
+      "program p\n  real a(100)\n  integer i\n  do i = %d, %d\n    a(i+%d) = a(i+%d)\n  enddo\nend\n"
+      lo hi cw cr
+  in
+  let cu = List.hd (Sema.check_source src).Sema.units in
+  let refs = Sections.collect cu.Sema.symtab cu.Sema.unit_.Ast.body in
+  let w = List.find (fun r -> r.Sections.is_write) refs in
+  let r = List.find (fun r -> not r.Sections.is_write) refs in
+  (w, r)
+
+let dep_brute_force =
+  prop "true_dep covers brute-force flow dependences" dep_case_gen
+    (fun ((_, _, _, _) as case) ->
+      let w, r = make_refs case in
+      let d = Dependence.true_dep w r in
+      let actual = brute_force_flow case in
+      (* soundness: an actual carried dependence must be reported *)
+      (not actual) || d.Dependence.carried <> [])
+
+let dep_exactness =
+  (* for strong-SIV single-variable cases the test is exact, not just
+     conservative *)
+  prop "true_dep is exact on strong SIV" dep_case_gen
+    (fun ((_, _, _, _) as case) ->
+      let w, r = make_refs case in
+      let d = Dependence.true_dep w r in
+      brute_force_flow case = (d.Dependence.carried <> []))
+
+(* --- Region algebra vs element-wise semantics ----------------------------- *)
+
+let box_gen =
+  QCheck2.Gen.(
+    let* lo1 = int_range 0 8 in
+    let* len1 = int_range 0 6 in
+    let* lo2 = int_range 0 8 in
+    let* len2 = int_range 0 6 in
+    return [ Triplet.range lo1 (lo1 + len1); Triplet.range lo2 (lo2 + len2) ])
+
+let region_gen =
+  QCheck2.Gen.(
+    let* boxes = list_size (int_range 0 3) box_gen in
+    return (List.fold_left (fun acc b -> Region.union acc (Region.of_triplets b))
+              (Region.empty 2) boxes))
+
+let elements r =
+  let out = ref [] in
+  for x = 0 to 20 do
+    for y = 0 to 20 do
+      if Region.mem [| x; y |] r then out := (x, y) :: !out
+    done
+  done;
+  List.sort compare !out
+
+let region_props =
+  [
+    prop ~count:200 "region diff/inter element-wise"
+      QCheck2.Gen.(pair region_gen region_gen)
+      (fun (a, b) ->
+        let ea = elements a and eb = elements b in
+        let ed = elements (Region.diff a b) and ei = elements (Region.inter a b) in
+        ed = List.filter (fun x -> not (List.mem x eb)) ea
+        && ei = List.filter (fun x -> List.mem x eb) ea);
+    prop ~count:200 "region union element-wise and count-exact"
+      QCheck2.Gen.(pair region_gen region_gen)
+      (fun (a, b) ->
+        let u = Region.union a b in
+        elements u = List.sort_uniq compare (elements a @ elements b)
+        && Region.count u = List.length (elements u));
+    prop ~count:200 "region simplify preserves semantics"
+      region_gen
+      (fun a -> elements (Region.simplify a) = elements a);
+  ]
+
+(* --- Fit: closed forms evaluate back to the data -------------------------- *)
+
+let eval_expr_at_p (e : Ast.expr) (p : int) : int =
+  let rec go e =
+    match e with
+    | Ast.Int_const n -> n
+    | Ast.Var "my$p" -> p
+    | Ast.Bin (Ast.Add, a, b) -> go a + go b
+    | Ast.Bin (Ast.Sub, a, b) -> go a - go b
+    | Ast.Bin (Ast.Mul, a, b) -> go a * go b
+    | Ast.Bin (Ast.Div, a, b) -> go a / go b
+    | Ast.Funcall ("min", args) -> List.fold_left min max_int (List.map go args)
+    | Ast.Funcall ("max", args) -> List.fold_left max min_int (List.map go args)
+    | Ast.Funcall ("tab$", sel :: consts) -> go (List.nth consts (go sel))
+    | Ast.Un (Ast.Neg, a) -> -go a
+    | _ -> failwith "unexpected expr"
+  in
+  go e
+
+let fit_roundtrip =
+  prop ~count:300 "expr_of_values evaluates back to the data"
+    QCheck2.Gen.(
+      let* n = int_range 1 8 in
+      let* values = array_size (return n) (int_range (-40) 40) in
+      return values)
+    (fun values ->
+      let e = Fd_core.Fit.expr_of_values values in
+      Array.for_all Fun.id
+        (Array.mapi (fun p v -> eval_expr_at_p e p = v) values))
+
+let fit_procset_roundtrip =
+  prop ~count:300 "fit_procset reproduces the per-processor sets"
+    QCheck2.Gen.(
+      let* n = int_range 2 8 in
+      let* kind = int_range 0 2 in
+      let* extent = int_range 4 60 in
+      return (n, kind, extent))
+    (fun (nprocs, kind, extent) ->
+      let dist =
+        match kind with
+        | 0 -> Fd_machine.Layout.Block (Fd_machine.Layout.block_size_for ~nprocs (1, extent))
+        | 1 -> Fd_machine.Layout.Cyclic
+        | _ -> Fd_machine.Layout.Block 2
+      in
+      let layout =
+        { Fd_machine.Layout.bounds = [ (1, extent) ]; dist_dim = Some 0; dist }
+      in
+      let owned = Fd_machine.Layout.owned layout ~nprocs in
+      match Fd_core.Fit.fit_procset_opt owned with
+      | None -> true  (* multi-triplet family (e.g. small block size): allowed *)
+      | Some { Fd_core.Fit.f_lo; f_hi; f_step; f_guard } ->
+        let ok = ref true in
+        for p = 0 to nprocs - 1 do
+          let participates =
+            match f_guard with
+            | None -> true
+            | Some g -> (
+              let rec truth e =
+                match e with
+                | Ast.Logical_const b -> b
+                | Ast.Bin (Ast.Le, a, b) -> eval_expr_at_p a p <= eval_expr_at_p b p
+                | Ast.Bin (Ast.Ge, a, b) -> eval_expr_at_p a p >= eval_expr_at_p b p
+                | Ast.Bin (Ast.Eq, a, b) -> eval_expr_at_p a p = eval_expr_at_p b p
+                | Ast.Bin (Ast.And, a, b) -> truth a && truth b
+                | _ -> failwith "unexpected guard"
+              in
+              truth g)
+          in
+          let set =
+            if not participates then Iset.empty
+            else
+              let lo = eval_expr_at_p f_lo p
+              and hi = eval_expr_at_p f_hi p
+              and step = eval_expr_at_p f_step p in
+              if hi < lo then Iset.empty
+              else Iset.of_triplet (Triplet.make ~lo ~hi ~step)
+          in
+          if not (Iset.equal set owned.(p)) then ok := false
+        done;
+        !ok)
+
+let suite =
+  [ dep_brute_force; dep_exactness; fit_roundtrip; fit_procset_roundtrip ]
+  @ region_props

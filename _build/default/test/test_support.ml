@@ -1,0 +1,182 @@
+(* Unit and property tests for the support library: triplets and integer
+   sets are the scalar kernel under all RSD reasoning, so their algebra is
+   tested exhaustively. *)
+
+open Fd_support
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* --- Triplet unit tests ------------------------------------------------ *)
+
+let t_make () =
+  let t = Triplet.make ~lo:1 ~hi:10 ~step:3 in
+  check_int "count" 4 (Triplet.count t);
+  check_int "normalized hi" 10 (Triplet.hi t);
+  let t2 = Triplet.make ~lo:1 ~hi:11 ~step:3 in
+  check_int "hi snaps to last member" 10 (Triplet.hi t2);
+  check "empty when hi < lo" true (Triplet.is_empty (Triplet.make ~lo:5 ~hi:4 ~step:1))
+
+let t_mem () =
+  let t = Triplet.make ~lo:2 ~hi:14 ~step:4 in
+  List.iter (fun x -> check (Fmt.str "mem %d" x) true (Triplet.mem x t)) [ 2; 6; 10; 14 ];
+  List.iter (fun x -> check (Fmt.str "not mem %d" x) false (Triplet.mem x t))
+    [ 1; 3; 4; 15; 18; 0; -2 ]
+
+let t_inter_contig () =
+  let a = Triplet.range 1 10 and b = Triplet.range 6 20 in
+  let i = Triplet.inter a b in
+  check_str "inter" "[6:10]" (Triplet.to_string i)
+
+let t_inter_strided () =
+  (* {1,4,7,10,...} with {1,6,11,...}: lcm 15, first common 1 *)
+  let a = Triplet.make ~lo:1 ~hi:31 ~step:3 in
+  let b = Triplet.make ~lo:1 ~hi:31 ~step:5 in
+  let i = Triplet.inter a b in
+  check_str "strided inter" "[1:31:15]" (Triplet.to_string i)
+
+let t_inter_empty_phase () =
+  (* evens and odds never meet *)
+  let a = Triplet.make ~lo:0 ~hi:100 ~step:2 in
+  let b = Triplet.make ~lo:1 ~hi:99 ~step:2 in
+  check "disjoint phases" true (Triplet.is_empty (Triplet.inter a b))
+
+let t_diff_contig () =
+  let a = Triplet.range 1 20 and b = Triplet.range 6 10 in
+  let pieces = Triplet.diff a b in
+  check_int "two pieces" 2 (List.length pieces);
+  check_str "below" "[1:5]" (Triplet.to_string (List.nth pieces 0));
+  check_str "above" "[11:20]" (Triplet.to_string (List.nth pieces 1))
+
+let t_diff_strided_minuend () =
+  (* {1,4,...,28} minus [10:20] -> {1,4,7} and {22,25,28} *)
+  let a = Triplet.make ~lo:1 ~hi:28 ~step:3 in
+  let b = Triplet.range 10 20 in
+  let pieces = Triplet.diff a b in
+  check_int "two pieces" 2 (List.length pieces);
+  check_str "below" "[1:7:3]" (Triplet.to_string (List.nth pieces 0));
+  check_str "above" "[22:28:3]" (Triplet.to_string (List.nth pieces 1))
+
+let t_shift () =
+  let t = Triplet.make ~lo:1 ~hi:25 ~step:1 in
+  let s = Triplet.shift 5 t in
+  check_str "shift" "[6:30]" (Triplet.to_string s)
+
+let t_of_sorted_list () =
+  let ts = Triplet.of_sorted_list [ 1; 2; 3; 7; 9; 11; 20 ] in
+  check_str "grouping"
+    "[1:3]/[7:11:2]/[20:20]"
+    (String.concat "/" (List.map Triplet.to_string ts))
+
+let t_subset () =
+  check "strided subset" true
+    (Triplet.subset (Triplet.make ~lo:2 ~hi:10 ~step:4) (Triplet.make ~lo:2 ~hi:14 ~step:2));
+  check "phase mismatch" false
+    (Triplet.subset (Triplet.make ~lo:3 ~hi:11 ~step:4) (Triplet.make ~lo:2 ~hi:14 ~step:2))
+
+(* --- Iset unit tests --------------------------------------------------- *)
+
+let i_union_merges () =
+  let a = Iset.range 1 5 and b = Iset.range 6 10 in
+  let u = Iset.union a b in
+  check_int "canonical single triplet" 1 (List.length (Iset.triplets u));
+  check_int "count" 10 (Iset.count u)
+
+let i_diff_exact () =
+  let a = Iset.range 1 100 in
+  let b = Iset.of_triplet (Triplet.make ~lo:1 ~hi:99 ~step:2) in
+  let d = Iset.diff a b in
+  check "evens remain" true (Iset.equal d (Iset.of_triplet (Triplet.make ~lo:2 ~hi:100 ~step:2)))
+
+let i_hull () =
+  let s = Iset.union (Iset.range 3 5) (Iset.singleton 11) in
+  check_str "hull" "[3:11]" (Triplet.to_string (Iset.hull s))
+
+(* --- Property-based tests ---------------------------------------------- *)
+
+let triplet_gen =
+  QCheck2.Gen.(
+    let* lo = int_range (-30) 30 in
+    let* len = int_range 0 40 in
+    let* step = int_range 1 7 in
+    return (Triplet.make ~lo ~hi:(lo + len) ~step))
+
+let to_set t = List.sort_uniq compare (Triplet.to_list t)
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:500 ~name gen f)
+
+let qcheck_tests =
+  [
+    prop "inter = element-wise intersection"
+      QCheck2.Gen.(pair triplet_gen triplet_gen)
+      (fun (a, b) ->
+        let expected =
+          List.filter (fun x -> List.mem x (to_set b)) (to_set a)
+        in
+        to_set (Triplet.inter a b) = expected);
+    prop "diff = element-wise difference (contiguous subtrahend)"
+      QCheck2.Gen.(
+        pair triplet_gen
+          (let* lo = int_range (-30) 30 in
+           let* len = int_range 0 40 in
+           return (Triplet.make ~lo ~hi:(lo + len) ~step:1)))
+      (fun (a, b) ->
+        let expected = List.filter (fun x -> not (Triplet.mem x b)) (to_set a) in
+        List.concat_map to_set (Triplet.diff a b) |> List.sort_uniq compare
+        = expected);
+    prop "diff is sound over-approximation (any strides)"
+      QCheck2.Gen.(pair triplet_gen triplet_gen)
+      (fun (a, b) ->
+        let must_keep = List.filter (fun x -> not (Triplet.mem x b)) (to_set a) in
+        let kept = List.concat_map to_set (Triplet.diff a b) in
+        List.for_all (fun x -> List.mem x kept) must_keep);
+    prop "subset agrees with element-wise subset"
+      QCheck2.Gen.(pair triplet_gen triplet_gen)
+      (fun (a, b) ->
+        let elementwise = List.for_all (fun x -> Triplet.mem x b) (to_set a) in
+        (* subset may be conservative (false negatives allowed), never a
+           false positive *)
+        if Triplet.subset a b then elementwise else true);
+    prop "Iset union/inter/diff form a boolean algebra on elements"
+      QCheck2.Gen.(pair (list_size (int_range 0 4) triplet_gen)
+                     (list_size (int_range 0 4) triplet_gen))
+      (fun (xs, ys) ->
+        let a = Iset.of_triplets xs and b = Iset.of_triplets ys in
+        let u = Iset.union a b and i = Iset.inter a b and d = Iset.diff a b in
+        Iset.equal (Iset.union d i) a
+        && Iset.count u + Iset.count i = Iset.count a + Iset.count b
+        && Iset.disjoint d b);
+    prop "Iset canonical form has disjoint increasing triplets"
+      QCheck2.Gen.(list_size (int_range 0 5) triplet_gen)
+      (fun xs ->
+        let s = Iset.of_triplets xs in
+        let rec ok = function
+          | [] | [ _ ] -> true
+          | a :: (b :: _ as rest) -> Triplet.hi a < Triplet.lo b && ok rest
+        in
+        ok (Iset.triplets s));
+    prop "Triplet.of_sorted_list round-trips"
+      QCheck2.Gen.(list_size (int_range 0 30) (int_range (-50) 50))
+      (fun xs ->
+        let sorted = List.sort_uniq compare xs in
+        List.concat_map Triplet.to_list (Triplet.of_sorted_list sorted) = sorted);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "triplet make/normalize" `Quick t_make;
+    Alcotest.test_case "triplet mem" `Quick t_mem;
+    Alcotest.test_case "triplet inter contiguous" `Quick t_inter_contig;
+    Alcotest.test_case "triplet inter strided (CRT)" `Quick t_inter_strided;
+    Alcotest.test_case "triplet inter phase-disjoint" `Quick t_inter_empty_phase;
+    Alcotest.test_case "triplet diff contiguous" `Quick t_diff_contig;
+    Alcotest.test_case "triplet diff strided minuend" `Quick t_diff_strided_minuend;
+    Alcotest.test_case "triplet shift" `Quick t_shift;
+    Alcotest.test_case "of_sorted_list grouping" `Quick t_of_sorted_list;
+    Alcotest.test_case "triplet subset" `Quick t_subset;
+    Alcotest.test_case "iset union merges" `Quick i_union_merges;
+    Alcotest.test_case "iset diff exact" `Quick i_diff_exact;
+    Alcotest.test_case "iset hull" `Quick i_hull;
+  ]
+  @ qcheck_tests
