@@ -220,6 +220,44 @@ let e8 () =
       Fmt.pr "%-20s | %14.2f | %6d@." (Options.strategy_name strategy) dt !nprocs)
     [ Options.Interproc; Options.Immediate; Options.Runtime_resolution ]
 
+(* --- E8c: compile time per pipeline pass -------------------------------------- *)
+
+let e8c () =
+  header "E8c: compile time per pipeline pass (dgefa n=32, mean of 20 runs)";
+  let src = Fd_workloads.Dgefa.source ~n:32 () in
+  Fmt.pr "%-18s" "pass";
+  List.iter
+    (fun s -> Fmt.pr " | %13s" (Options.strategy_name s))
+    [ Options.Interproc; Options.Immediate; Options.Runtime_resolution ];
+  Fmt.pr "@.-------------------+---------------+---------------+---------------@.";
+  let iters = 20 in
+  let mean_times strategy =
+    (* mean wall-clock ms per pass over [iters] fresh pipeline runs *)
+    let totals = Hashtbl.create 8 in
+    for _ = 1 to iters do
+      let opts = { Options.default with Options.strategy } in
+      let report = Pipeline.run (Pipeline.of_source ~opts src) in
+      List.iter
+        (fun (e : Pass.entry) ->
+          let prev = Option.value ~default:0.0 (Hashtbl.find_opt totals e.Pass.e_pass) in
+          Hashtbl.replace totals e.Pass.e_pass (prev +. e.Pass.e_time))
+        report
+    done;
+    fun pass ->
+      Option.value ~default:0.0 (Hashtbl.find_opt totals pass)
+      /. float_of_int iters *. 1e3
+  in
+  let per_strategy =
+    List.map mean_times
+      [ Options.Interproc; Options.Immediate; Options.Runtime_resolution ]
+  in
+  List.iter
+    (fun pass ->
+      Fmt.pr "%-18s" pass;
+      List.iter (fun times -> Fmt.pr " | %10.3f ms" (times pass)) per_strategy;
+      Fmt.pr "@.")
+    Pipeline.pass_names
+
 (* --- E8b: Bechamel microbenchmarks of the compiler phases --------------------- *)
 
 let e8b () =
@@ -351,6 +389,7 @@ let () =
   e6 ();
   e7 ();
   e8 ();
+  e8c ();
   e9 ();
   e10 ();
   e11 ();

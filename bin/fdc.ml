@@ -5,6 +5,7 @@
      fdc acg <file>        - dump the augmented call graph
      fdc spmd <file>       - compile and print the SPMD node program
      fdc run <file>        - compile, simulate, verify, print statistics
+     fdc passes <file>     - run the pass pipeline, print per-pass timings
 *)
 
 open Cmdliner
@@ -54,8 +55,8 @@ let opts_of ?(no_agg = false) nprocs strategy remap no_coll =
     Fd_core.Options.nprocs; strategy; remap_level = remap;
     use_collectives = not no_coll; aggregate_messages = not no_agg }
 
-let wrap f =
-  try f (); 0
+let wrap_code f =
+  try f ()
   with
   | Fd_support.Diag.Compile_error d ->
     Fmt.epr "%s@." (Fd_support.Diag.to_string d);
@@ -63,6 +64,8 @@ let wrap f =
   | Fd_machine.Scheduler.Sim_error e ->
     Fmt.epr "simulation failed: %s@." (Fd_machine.Scheduler.error_to_string e);
     1
+
+let wrap f = wrap_code (fun () -> f (); 0)
 
 let ast_cmd =
   let run file =
@@ -97,34 +100,83 @@ let spmd_cmd =
   Cmd.v (Cmd.info "spmd" ~doc:"Compile and print the SPMD node program")
     Term.(const run $ file_arg $ nprocs_arg $ strategy_arg $ remap_arg $ collectives_arg)
 
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON")
+
 let run_cmd =
-  let run file nprocs strategy remap no_coll trace no_agg =
+  let run file nprocs strategy remap no_coll trace no_agg json =
     wrap (fun () ->
         let opts = opts_of ~no_agg nprocs strategy remap no_coll in
         let machine =
           Fd_machine.Config.make ~nprocs ~record_trace:trace ()
         in
         let r = Fd_core.Driver.run_source ~opts ~machine ~file (read_file file) in
-        if trace then
-          List.iter
-            (fun ev -> Fmt.pr "%a@." Fd_machine.Stats.pp_event ev)
-            (Fd_machine.Stats.trace r.Fd_core.Driver.stats);
-        Fmt.pr "%a@." Fd_machine.Stats.pp r.Fd_core.Driver.stats;
-        List.iter (Fmt.pr "output: %s@.")
-          (Fd_machine.Stats.outputs r.Fd_core.Driver.stats);
-        if Fd_core.Driver.verified r then Fmt.pr "verification: OK@."
+        if json then begin
+          let stats_fields =
+            match Fd_machine.Stats.to_json r.Fd_core.Driver.stats with
+            | Fd_support.Json.Obj fields -> fields
+            | other -> [ ("stats", other) ]
+          in
+          let j =
+            Fd_support.Json.Obj
+              (stats_fields
+              @ [ ("verified", Fd_support.Json.Bool (Fd_core.Driver.verified r));
+                  ( "mismatches",
+                    Fd_support.Json.Int (List.length r.Fd_core.Driver.mismatches) );
+                  ("speedup", Fd_support.Json.Float (Fd_core.Driver.speedup r)) ])
+          in
+          Fmt.pr "%s@." (Fd_support.Json.to_string j)
+        end
         else begin
-          Fmt.pr "verification FAILED (%d mismatches):@."
-            (List.length r.Fd_core.Driver.mismatches);
-          List.iteri
-            (fun i m ->
-              if i < 10 then Fmt.pr "  %a@." Fd_machine.Gather.pp_mismatch m)
-            r.Fd_core.Driver.mismatches
+          if trace then
+            List.iter
+              (fun ev -> Fmt.pr "%a@." Fd_machine.Stats.pp_event ev)
+              (Fd_machine.Stats.trace r.Fd_core.Driver.stats);
+          Fmt.pr "%a@." Fd_machine.Stats.pp r.Fd_core.Driver.stats;
+          List.iter (Fmt.pr "output: %s@.")
+            (Fd_machine.Stats.outputs r.Fd_core.Driver.stats);
+          if Fd_core.Driver.verified r then Fmt.pr "verification: OK@."
+          else begin
+            Fmt.pr "verification FAILED (%d mismatches):@."
+              (List.length r.Fd_core.Driver.mismatches);
+            List.iteri
+              (fun i m ->
+                if i < 10 then Fmt.pr "  %a@." Fd_machine.Gather.pp_mismatch m)
+              r.Fd_core.Driver.mismatches
+          end
         end)
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile, simulate and verify")
     Term.(const run $ file_arg $ nprocs_arg $ strategy_arg $ remap_arg $ collectives_arg
-          $ trace_arg $ no_agg_arg)
+          $ trace_arg $ no_agg_arg $ json_arg)
+
+let passes_cmd =
+  let run file nprocs strategy remap no_coll dump_after verify json =
+    wrap_code (fun () ->
+        let opts = opts_of nprocs strategy remap no_coll in
+        let ctx = Fd_core.Pipeline.of_source ~opts ~file (read_file file) in
+        let report = Fd_core.Pipeline.run ~verify ~dump_after ctx in
+        if json then
+          Fmt.pr "%s@."
+            (Fd_support.Json.to_string (Fd_core.Pipeline.report_to_json report))
+        else Fmt.pr "%a" Fd_core.Pipeline.pp_report report;
+        if Fd_core.Pass.report_ok report then 0 else 1)
+  in
+  let dump_after_arg =
+    Arg.(value & opt_all string []
+         & info [ "dump-after" ] ~docv:"PASS"
+             ~doc:"Print the named pass's artifact after it runs (repeatable)")
+  in
+  let verify_arg =
+    Arg.(value & flag
+         & info [ "verify-passes" ]
+             ~doc:"Check every pass's invariants; non-zero exit on violation")
+  in
+  Cmd.v
+    (Cmd.info "passes"
+       ~doc:"Run the compilation pipeline, printing per-pass timings and artifact sizes")
+    Term.(const run $ file_arg $ nprocs_arg $ strategy_arg $ remap_arg $ collectives_arg
+          $ dump_after_arg $ verify_arg $ json_arg)
 
 let exports_cmd =
   let run file nprocs strategy remap no_coll =
@@ -243,5 +295,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "fdc" ~doc)
-          [ ast_cmd; acg_cmd; spmd_cmd; run_cmd; exports_cmd; overlap_cmd;
-            recompile_cmd; seq_cmd; partition_cmd; fuzz_cmd ]))
+          [ ast_cmd; acg_cmd; spmd_cmd; run_cmd; passes_cmd; exports_cmd;
+            overlap_cmd; recompile_cmd; seq_cmd; partition_cmd; fuzz_cmd ]))

@@ -2028,17 +2028,23 @@ type compiled = {
   state : state;
 }
 
-let compile (opts : Options.t) (cp : Sema.checked_program) : compiled =
-  let clone_result =
-    match opts.Options.strategy with
-    | Options.Runtime_resolution -> { Cloning.cp; origin = Cloning.SM.empty; clones_made = 0 }
-    | Options.Interproc | Options.Immediate -> Cloning.apply opts cp
-  in
-  let cp = clone_result.Cloning.cp in
+(* The analysis phases are exposed individually so the pass manager
+   (Pipeline) can time, dump and verify each one; [compile] composes
+   them for callers wanting the one-call entry point. *)
+
+let clone (opts : Options.t) (cp : Sema.checked_program) : Cloning.result =
+  match opts.Options.strategy with
+  | Options.Runtime_resolution -> { Cloning.cp; origin = Cloning.SM.empty; clones_made = 0 }
+  | Options.Interproc | Options.Immediate -> Cloning.apply opts cp
+
+let build_acg (cp : Sema.checked_program) : Acg.t =
   let acg = Acg.build cp in
   if Acg.is_recursive acg then Diag.error "recursive programs are not supported";
-  let rd = Reaching_decomps.compute acg in
-  let effects = Side_effects.compute acg in
+  acg
+
+let compile_analyzed (opts : Options.t) ~(clone_result : Cloning.result)
+    ~(acg : Acg.t) ~(rd : Reaching_decomps.t) ~(effects : Side_effects.t) : compiled =
+  let cp = clone_result.Cloning.cp in
   (* Fortran D forbids dynamic decomposition of aliased variables
      (Section 6.4); reject such programs before generating code. *)
   ignore (Aliasing.check acg effects);
@@ -2085,3 +2091,10 @@ let compile (opts : Options.t) (cp : Sema.checked_program) : compiled =
     cloned = cp;
     clone_result;
     state = st }
+
+let compile (opts : Options.t) (cp : Sema.checked_program) : compiled =
+  let clone_result = clone opts cp in
+  let acg = build_acg clone_result.Cloning.cp in
+  let rd = Reaching_decomps.compute acg in
+  let effects = Side_effects.compute acg in
+  compile_analyzed opts ~clone_result ~acg ~rd ~effects

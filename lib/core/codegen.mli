@@ -38,9 +38,31 @@ type compiled = {
   state : state;
 }
 
+val clone : Options.t -> Sema.checked_program -> Cloning.result
+(** The cloning phase: {!Cloning.apply} for the optimizing strategies, a
+    trivial (identity) result under [Runtime_resolution]. *)
+
+val build_acg : Sema.checked_program -> Acg.t
+(** Build the augmented call graph of the (cloned) program.
+    @raise Fd_support.Diag.Compile_error on recursion. *)
+
+val compile_analyzed :
+  Options.t ->
+  clone_result:Cloning.result ->
+  acg:Acg.t ->
+  rd:Reaching_decomps.t ->
+  effects:Side_effects.t ->
+  compiled
+(** Per-procedure code generation over already-computed analyses (the
+    final pipeline pass): aliasing check, then one pass per procedure in
+    reverse topological order.
+    @raise Fd_support.Diag.Compile_error on forbidden aliasing or
+    uninstantiable computation partitions. *)
+
 val compile : Options.t -> Sema.checked_program -> compiled
 (** Whole-program compilation: cloning (for the optimizing strategies),
     analyses, aliasing check, then one pass per procedure in reverse
-    topological order.
+    topological order.  Equivalent to running the {!Pipeline} passes
+    [cloning] through [codegen] in order.
     @raise Fd_support.Diag.Compile_error on recursion, forbidden
     aliasing, or uninstantiable computation partitions. *)

@@ -1,5 +1,6 @@
-(* Top-level driver: parse -> check -> interprocedural compile ->
-   simulate -> verify against the sequential reference execution. *)
+(* Top-level driver: the Pipeline passes (parse -> check ->
+   interprocedural compile) followed by simulation and verification
+   against the sequential reference execution. *)
 
 open Fd_frontend
 open Fd_machine
@@ -10,24 +11,34 @@ type run_result = {
   outputs_match : bool;  (* captured PRINT lines equal the sequential run's *)
   seq : Seq_interp.result;
   compiled : Codegen.compiled;
+  report : Pass.report;
 }
 
 let check_source ?file src = Sema.check_source ?file src
 
-let compile ?(opts = Options.default) (cp : Sema.checked_program) : Codegen.compiled =
-  Codegen.compile opts cp
+let compile_ctx ?(verify = false) (ctx : Pass.ctx) :
+    Codegen.compiled * Pass.report =
+  let report = Pipeline.run ~verify ctx in
+  (match Pass.violations report with
+  | [] -> ()
+  | (pass, msg) :: _ -> Fd_support.Diag.error "pass %s: %s" pass msg);
+  (Pass.get_compiled ctx, report)
 
-let compile_source ?opts ?file src = compile ?opts (check_source ?file src)
+let compile ?(opts = Options.default) (cp : Sema.checked_program) : Codegen.compiled =
+  fst (compile_ctx (Pipeline.of_checked ~opts cp))
+
+let compile_source ?(opts = Options.default) ?file src =
+  fst (compile_ctx (Pipeline.of_source ~opts ?file src))
 
 let machine_config ?(machine : Config.t option) (opts : Options.t) : Config.t =
   match machine with
   | Some m -> { m with Config.nprocs = opts.Options.nprocs }
   | None -> Config.ipsc860 ~nprocs:opts.Options.nprocs ()
 
-(* Compile and simulate; verifies final array contents and captured output
-   against the sequential interpreter. *)
-let run ?(opts = Options.default) ?machine (cp : Sema.checked_program) : run_result =
-  let compiled = compile ~opts cp in
+(* Simulate an already-compiled program; verifies final array contents
+   and captured output against the sequential interpreter. *)
+let run_compiled ?machine ~(opts : Options.t) ~(report : Pass.report)
+    (cp : Sema.checked_program) (compiled : Codegen.compiled) : run_result =
   let config = machine_config ?machine opts in
   let stats, frames = Scheduler.run config compiled.Codegen.program in
   let seq = Seq_interp.run ~config cp in
@@ -35,10 +46,15 @@ let run ?(opts = Options.default) ?machine (cp : Sema.checked_program) : run_res
     Gather.compare_results ~nprocs:opts.Options.nprocs seq frames
   in
   let outputs_match = Stats.outputs stats = seq.Seq_interp.outputs in
-  { stats; mismatches; outputs_match; seq; compiled }
+  { stats; mismatches; outputs_match; seq; compiled; report }
 
-let run_source ?opts ?machine ?file src =
-  run ?opts ?machine (check_source ?file src)
+let run ?(opts = Options.default) ?machine ?(verify = false)
+    (cp : Sema.checked_program) : run_result =
+  let compiled, report = compile_ctx ~verify (Pipeline.of_checked ~opts cp) in
+  run_compiled ?machine ~opts ~report cp compiled
+
+let run_source ?opts ?machine ?verify ?file src =
+  run ?opts ?machine ?verify (check_source ?file src)
 
 let verified r = r.mismatches = [] && r.outputs_match
 

@@ -1,5 +1,6 @@
-(** Top-level driver: parse -> check -> interprocedural compile ->
-    simulate -> verify against the sequential reference execution. *)
+(** Top-level driver: the {!Pipeline} passes (parse -> check ->
+    interprocedural compile) followed by simulation and verification
+    against the sequential reference execution. *)
 
 open Fd_frontend
 open Fd_machine
@@ -11,9 +12,16 @@ type run_result = {
       (** captured PRINT lines equal the sequential run's *)
   seq : Seq_interp.result;
   compiled : Codegen.compiled;
+  report : Pass.report;
+      (** per-pass wall-clock time, artifact sizes and (when requested)
+          invariant results for the compile *)
 }
 
 val check_source : ?file:string -> string -> Sema.checked_program
+
+val compile_ctx : ?verify:bool -> Pass.ctx -> Codegen.compiled * Pass.report
+(** Run the whole pipeline over a context.  With [verify], the first
+    invariant violation raises {!Fd_support.Diag.Compile_error}. *)
 
 val compile : ?opts:Options.t -> Sema.checked_program -> Codegen.compiled
 
@@ -23,12 +31,15 @@ val compile_source :
 val machine_config : ?machine:Config.t -> Options.t -> Config.t
 
 val run :
-  ?opts:Options.t -> ?machine:Config.t -> Sema.checked_program -> run_result
+  ?opts:Options.t -> ?machine:Config.t -> ?verify:bool ->
+  Sema.checked_program -> run_result
 (** Compile, simulate, and compare final array contents and captured
-    output against the sequential interpreter. *)
+    output against the sequential interpreter.  [verify] additionally
+    runs every pass's invariant checker during the compile. *)
 
 val run_source :
-  ?opts:Options.t -> ?machine:Config.t -> ?file:string -> string -> run_result
+  ?opts:Options.t -> ?machine:Config.t -> ?verify:bool -> ?file:string ->
+  string -> run_result
 
 val verified : run_result -> bool
 (** No array mismatches and identical PRINT output. *)

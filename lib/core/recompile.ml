@@ -28,9 +28,15 @@ type artifacts = {
 let digest s = Digest.to_hex (Digest.string s)
 
 let artifacts ?(opts = Options.default) (cp : Sema.checked_program) : artifacts =
-  let compiled = Codegen.compile opts cp in
-  let acg = Acg.build compiled.Codegen.cloned in
-  let rd = Reaching_decomps.compute acg in
+  (* One pipeline run produces every input we digest: the ACG, reaching
+     decompositions and local summaries come straight from the pass
+     context instead of being recomputed after the fact. *)
+  let ctx = Pipeline.of_checked ~opts cp in
+  ignore (Pipeline.run ctx);
+  let compiled = Pass.get_compiled ctx in
+  let acg = Pass.get_acg ctx in
+  let rd = Pass.get_rd ctx in
+  let summaries = Pass.get_summaries ctx in
   let origin name = Cloning.origin_of compiled.Codegen.clone_result name in
   (* aggregate per *original* procedure name (clones fold back in) *)
   let add m k v = SM.update k (function None -> Some [ v ] | Some l -> Some (v :: l)) m in
@@ -42,7 +48,11 @@ let artifacts ?(opts = Options.default) (cp : Sema.checked_program) : artifacts 
   List.iter
     (fun (p : Acg.proc) ->
       let name = origin p.Acg.pname in
-      let summary = Local_summary.of_unit p.Acg.cu in
+      let summary =
+        match List.assoc_opt p.Acg.pname summaries with
+        | Some s -> s
+        | None -> Local_summary.of_unit p.Acg.cu
+      in
       source := add !source name summary.Local_summary.source_digest;
       interface := add !interface name (Local_summary.interface_digest summary);
       reaching :=

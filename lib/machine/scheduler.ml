@@ -66,10 +66,10 @@ let resume_recv t p src tag k : unit -> outcome =
     let msg, arrival = Queue.pop q in
     let before = t.stats.Stats.clocks.(p) in
     t.stats.Stats.clocks.(p) <- Float.max before arrival;
+    let waited = Float.max 0.0 (arrival -. before) in
+    t.stats.Stats.max_wait <- Float.max t.stats.Stats.max_wait waited;
     record t
-      (Stats.Ev_recv
-         { at = t.stats.Stats.clocks.(p); src; dest = p; tag;
-           waited = Float.max 0.0 (arrival -. before) });
+      (Stats.Ev_recv { at = t.stats.Stats.clocks.(p); src; dest = p; tag; waited });
     continue k msg
 
 (* Run one processor's computation under the effect handler. *)
@@ -124,10 +124,11 @@ let run_proc t (p : int) (f : unit -> Interp.frame) : outcome =
                   let msg, arrival = Queue.pop q in
                   let before = t.stats.Stats.clocks.(p) in
                   t.stats.Stats.clocks.(p) <- Float.max before arrival;
+                  let waited = Float.max 0.0 (arrival -. before) in
+                  t.stats.Stats.max_wait <- Float.max t.stats.Stats.max_wait waited;
                   record t
                     (Stats.Ev_recv
-                       { at = t.stats.Stats.clocks.(p); src; dest = p; tag;
-                         waited = Float.max 0.0 (arrival -. before) });
+                       { at = t.stats.Stats.clocks.(p); src; dest = p; tag; waited });
                   continue k msg
                 end
                 else O_blocked_recv { src; tag; k })

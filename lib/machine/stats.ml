@@ -17,6 +17,7 @@ type t = {
   mutable remap_bytes : int;
   mutable flops : int;
   mutable mem_ops : int;
+  mutable max_wait : float;      (* longest single receive wait, seconds *)
   clocks : float array;          (* per-processor virtual time, seconds *)
   busy : float array;            (* per-processor compute time *)
   mutable outputs : (int * string) list;  (* (proc, line), reversed *)
@@ -26,8 +27,8 @@ type t = {
 let create nprocs =
   { nprocs; messages = 0; message_bytes = 0; bcasts = 0; bcast_bytes = 0;
     remaps = 0; remap_marks = 0; remap_bytes = 0; flops = 0; mem_ops = 0;
-    clocks = Array.make nprocs 0.0; busy = Array.make nprocs 0.0; outputs = [];
-    trace = [] }
+    max_wait = 0.0; clocks = Array.make nprocs 0.0; busy = Array.make nprocs 0.0;
+    outputs = []; trace = [] }
 
 let elapsed t = Array.fold_left max 0.0 t.clocks
 
@@ -51,6 +52,27 @@ let pp_event ppf = function
   | Ev_remap { at; array; moved_bytes; mark_only } ->
     Fmt.pf ppf "%10.1f us  remap %s  %s" (at *. 1e6) array
       (if mark_only then "(mark only)" else Fmt.str "%d bytes moved" moved_bytes)
+
+let to_json t : Fd_support.Json.t =
+  let farr a = Fd_support.Json.List (Array.to_list (Array.map (fun x -> Fd_support.Json.Float x) a)) in
+  Fd_support.Json.Obj
+    [ ("nprocs", Int t.nprocs);
+      ("messages", Int t.messages);
+      ("message_bytes", Int t.message_bytes);
+      ("bcasts", Int t.bcasts);
+      ("bcast_bytes", Int t.bcast_bytes);
+      ("remaps", Int t.remaps);
+      ("remap_marks", Int t.remap_marks);
+      ("remap_bytes", Int t.remap_bytes);
+      ("flops", Int t.flops);
+      ("mem_ops", Int t.mem_ops);
+      ("elapsed", Float (elapsed t));
+      ("total_busy", Float (total_busy t));
+      ("max_wait", Float t.max_wait);
+      ("comm_ops", Int (comm_ops t));
+      ("clocks", farr t.clocks);
+      ("busy", farr t.busy);
+      ("outputs", List (List.map (fun s -> Fd_support.Json.Str s) (outputs t))) ]
 
 let pp ppf t =
   Fmt.pf ppf

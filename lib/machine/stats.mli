@@ -17,6 +17,8 @@ type t = {
   mutable remap_bytes : int;
   mutable flops : int;
   mutable mem_ops : int;
+  mutable max_wait : float;
+      (** longest single receive wait (seconds), over all processors *)
   clocks : float array;          (** per-processor virtual time, seconds *)
   busy : float array;            (** per-processor compute time *)
   mutable outputs : (int * string) list;  (** (proc, line), reversed *)
@@ -37,6 +39,11 @@ val outputs : t -> string list
 
 val trace : t -> event list
 (** Communication timeline, in order (empty unless recording). *)
+
+val to_json : t -> Fd_support.Json.t
+(** The full record as JSON: counters, [elapsed], [max_wait], per-proc
+    [clocks]/[busy] and captured outputs — the canonical serialization
+    used by [fdc run --json] and the bench scrapers. *)
 
 val pp_event : Format.formatter -> event -> unit
 

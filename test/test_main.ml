@@ -6,6 +6,7 @@ let () =
       ("analysis", Test_analysis.suite);
       ("callgraph", Test_callgraph.suite);
       ("core", Test_core.suite);
+      ("pipeline", Test_pipeline.suite);
       ("machine", Test_machine.suite);
       ("units2", Test_units2.suite);
       ("units3", Test_units3.suite);
