@@ -103,12 +103,45 @@ let spmd_cmd =
 let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON")
 
+(* --- fault-injection flags (fdc run / fdc oracle) ----------------------- *)
+
+let fault_seed_arg =
+  Arg.(value & opt (some int) None
+       & info [ "fault-seed" ] ~docv:"SEED"
+           ~doc:"Enable deterministic fault injection with this seed")
+
+let drop_arg =
+  Arg.(value & opt float 0.0
+       & info [ "drop" ] ~docv:"P" ~doc:"Per-transmission drop probability")
+
+let dup_arg =
+  Arg.(value & opt float 0.0
+       & info [ "dup" ] ~docv:"P" ~doc:"Per-message duplication probability")
+
+let delay_arg =
+  Arg.(value & opt float 0.0
+       & info [ "delay" ] ~docv:"US"
+           ~doc:"Max extra delivery jitter in microseconds")
+
+(* A fault plan if any knob was turned; intensities without a seed use
+   seed 1 so `--drop 0.1` alone works. *)
+let faults_of ?(seed = None) ~drop ~dup ~delay () =
+  if seed = None && drop = 0.0 && dup = 0.0 && delay = 0.0 then None
+  else
+    Some
+      (Fd_machine.Fault.make
+         ~seed:(Option.value ~default:1 seed)
+         ~drop ~dup ~delay:(delay *. 1e-6) ())
+
 let run_cmd =
-  let run file nprocs strategy remap no_coll trace no_agg json =
-    wrap (fun () ->
+  let run file nprocs strategy remap no_coll trace no_agg json fault_seed drop
+      dup delay =
+    wrap_code (fun () ->
         let opts = opts_of ~no_agg nprocs strategy remap no_coll in
         let machine =
-          Fd_machine.Config.make ~nprocs ~record_trace:trace ()
+          Fd_machine.Config.make ~nprocs ~record_trace:trace
+            ?faults:(faults_of ~seed:fault_seed ~drop ~dup ~delay ())
+            ()
         in
         let r = Fd_core.Driver.run_source ~opts ~machine ~file (read_file file) in
         if json then begin
@@ -144,11 +177,90 @@ let run_cmd =
                 if i < 10 then Fmt.pr "  %a@." Fd_machine.Gather.pp_mismatch m)
               r.Fd_core.Driver.mismatches
           end
-        end)
+        end;
+        if Fd_core.Driver.verified r then 0 else 1)
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile, simulate and verify")
     Term.(const run $ file_arg $ nprocs_arg $ strategy_arg $ remap_arg $ collectives_arg
-          $ trace_arg $ no_agg_arg $ json_arg)
+          $ trace_arg $ no_agg_arg $ json_arg $ fault_seed_arg $ drop_arg $ dup_arg
+          $ delay_arg)
+
+(* --- fdc oracle: the differential fault oracle -------------------------- *)
+
+(* Every program must produce final arrays and PRINT output identical to
+   the sequential reference under an adversarial network, and the same
+   seed must reproduce identical statistics. *)
+let oracle_cmd =
+  let intensities =
+    [ ("low", Fd_machine.Fault.make ~seed:0 ~drop:0.05 ~dup:0.05 ~delay:200e-6 ());
+      ("high", Fd_machine.Fault.make ~seed:0 ~drop:0.3 ~dup:0.2 ~delay:1e-3 ()) ]
+  in
+  let run files nprocs seeds =
+    wrap_code (fun () ->
+        let failures = ref 0 in
+        let opts = { Fd_core.Options.default with Fd_core.Options.nprocs } in
+        List.iter
+          (fun file ->
+            let src = read_file file in
+            let cp = Fd_core.Driver.check_source ~file src in
+            List.iter
+              (fun seed ->
+                List.iter
+                  (fun (level, plan) ->
+                    let faults = { plan with Fd_machine.Fault.seed } in
+                    let machine = Fd_machine.Config.make ~nprocs ~faults () in
+                    let outcome =
+                      match Fd_core.Driver.run ~opts ~machine cp with
+                      | r ->
+                        let j1 = Fd_machine.Stats.to_json r.Fd_core.Driver.stats in
+                        let r2 = Fd_core.Driver.run ~opts ~machine cp in
+                        let j2 = Fd_machine.Stats.to_json r2.Fd_core.Driver.stats in
+                        if not (Fd_core.Driver.verified r) then
+                          Error
+                            (Fmt.str "MISMATCH (%d array diffs)"
+                               (List.length r.Fd_core.Driver.mismatches))
+                        else if not (Fd_support.Json.equal j1 j2) then
+                          Error "NONDETERMINISTIC (stats differ across reruns)"
+                        else
+                          Ok
+                            (Fmt.str
+                               "ok  %4d faults %4d retransmits %4d dups dropped"
+                               r.Fd_core.Driver.stats.Fd_machine.Stats.faults_injected
+                               r.Fd_core.Driver.stats.Fd_machine.Stats.retransmits
+                               r.Fd_core.Driver.stats
+                                 .Fd_machine.Stats.duplicates_dropped)
+                      | exception Fd_machine.Scheduler.Sim_error e ->
+                        Error (Fd_machine.Scheduler.error_to_string e)
+                    in
+                    match outcome with
+                    | Ok line ->
+                      Fmt.pr "%-24s seed %-3d %-4s %s@." (Filename.basename file)
+                        seed level line
+                    | Error msg ->
+                      incr failures;
+                      Fmt.pr "%-24s seed %-3d %-4s FAIL: %s@."
+                        (Filename.basename file) seed level msg)
+                  intensities)
+              seeds)
+          files;
+        Fmt.pr "oracle: %d programs x %d seeds x %d intensities, %d failures@."
+          (List.length files) (List.length seeds) (List.length intensities)
+          !failures;
+        if !failures > 0 then 1 else 0)
+  in
+  let files_arg =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE")
+  in
+  let seeds_arg =
+    Arg.(value & opt (list int) [ 11; 42 ]
+         & info [ "seeds" ] ~docv:"S1,S2" ~doc:"Fault seeds to test")
+  in
+  Cmd.v
+    (Cmd.info "oracle"
+       ~doc:"Differential fault oracle: simulate each program under injected \
+             drop/dup/delay faults and verify results against sequential \
+             execution and seed-reproducibility of statistics")
+    Term.(const run $ files_arg $ nprocs_arg $ seeds_arg)
 
 let passes_cmd =
   let run file nprocs strategy remap no_coll dump_after verify json =
@@ -296,4 +408,5 @@ let () =
     (Cmd.eval'
        (Cmd.group (Cmd.info "fdc" ~doc)
           [ ast_cmd; acg_cmd; spmd_cmd; run_cmd; passes_cmd; exports_cmd;
-            overlap_cmd; recompile_cmd; seq_cmd; partition_cmd; fuzz_cmd ]))
+            overlap_cmd; recompile_cmd; seq_cmd; partition_cmd; fuzz_cmd;
+            oracle_cmd ]))

@@ -17,6 +17,10 @@ type t = {
           missing communication even when stale values agree) *)
   record_trace : bool;
       (** record a communication-event timeline in {!Stats} *)
+  faults : Fault.t option;
+      (** deterministic adversarial-network plan (drop / duplicate /
+          delay / slowdown); [None] models the perfectly reliable iPSC
+          network and is byte-identical to the pre-fault simulator *)
 }
 
 val ipsc860 : ?nprocs:int -> unit -> t
@@ -24,7 +28,7 @@ val ipsc860 : ?nprocs:int -> unit -> t
 val make :
   ?alpha:float -> ?beta:float -> ?flop:float -> ?mem_op:float ->
   ?word_bytes:int -> ?tree_collectives:bool -> ?strict_validity:bool ->
-  ?record_trace:bool -> nprocs:int -> unit -> t
+  ?record_trace:bool -> ?faults:Fault.t -> nprocs:int -> unit -> t
 
 val message_cost : t -> int -> float
 (** [alpha + beta * bytes]. *)

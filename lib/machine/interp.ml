@@ -270,7 +270,9 @@ let rec exec t (s : Node.nstmt) : unit =
     in
     let bytes = List.length elems * t.config.Config.word_bytes in
     flush_ticks t;
-    Eff.send { Message.src = t.proc; dest = d; tag; elems; bytes }
+    (* seq 0 is a placeholder: the scheduler's network layer stamps the
+       real per-(src, dest, tag) sequence number *)
+    Eff.send { Message.src = t.proc; dest = d; tag; seq = 0; elems; bytes }
   | Node.N_recv { src; tag } ->
     let s = Value.to_int (eval t src) in
     flush_ticks t;

@@ -4,6 +4,10 @@ type t = {
   src : int;
   dest : int;
   tag : int;            (* static communication-site id *)
+  seq : int;
+      (* monotone per-(src, dest, tag) sequence number, stamped by the
+         scheduler's network layer; receivers dedup and reassemble in
+         seq order.  Senders construct messages with seq = 0. *)
   elems : (string * int array * Value.t) list;
       (* (array, global index vector, value); one message may aggregate
          sections of several arrays (paper Fig. 11 aggregation) *)
@@ -16,6 +20,7 @@ let arrays m =
   List.sort_uniq compare (List.map (fun (a, _, _) -> a) m.elems)
 
 let pp ppf m =
-  Fmt.pf ppf "msg %d->%d tag %d %s (%d elems, %d bytes)" m.src m.dest m.tag
+  Fmt.pf ppf "msg %d->%d tag %d seq %d %s (%d elems, %d bytes)" m.src m.dest
+    m.tag m.seq
     (String.concat "+" (arrays m))
     (nelems m) m.bytes

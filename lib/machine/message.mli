@@ -4,6 +4,10 @@ type t = {
   src : int;
   dest : int;
   tag : int;            (** static communication-site id *)
+  seq : int;
+      (** monotone per-(src, dest, tag) sequence number stamped by the
+          scheduler's network layer (senders pass 0); receivers dedup
+          duplicates and reassemble in seq order *)
   elems : (string * int array * Value.t) list;
       (** (array, global index vector, value); one message may aggregate
           sections of several arrays (paper Fig. 11 aggregation) *)

@@ -8,19 +8,83 @@
    receiver's clock to [max(own clock, arrival)].  Collectives
    (broadcast, remap) synchronize all P processors at a site, advance
    everyone to the ensemble maximum plus the collective's cost, and
-   perform the global data movement. *)
+   perform the global data movement.
+
+   Resilient protocol: every message is stamped with a monotone
+   per-(src, dest, tag) sequence number by the network layer.  Under a
+   {!Fault} plan, transmissions may be dropped (recovered by an
+   ack/retransmit loop with virtual-time timeouts and exponential
+   backoff, the recovery latency charged to the arrival time), duplicated
+   (deduped on the sequence number), or delayed; receivers reassemble in
+   seq order from a per-channel buffer.  A message still undeliverable
+   after [max_retries] retransmissions is declared lost and the run
+   terminates with a structured {!Deadlock} carrying the wait-for graph,
+   never a hang. *)
 
 open Fd_support
 open Effect.Deep
 
+type blocked_on =
+  | On_recv of { src : int; tag : int }
+  | On_collective of { site : int; label : string }
+
+type waiter = { w_proc : int; w_on : blocked_on; w_clock : float }
+
+type lost_msg = { l_src : int; l_dest : int; l_tag : int; l_seq : int;
+                  l_attempts : int }
+
+type wait_for = {
+  waiting : waiter list;
+  cycle : int list;
+  lost : lost_msg list;
+}
+
 type error =
-  | Deadlock of string
+  | Deadlock of wait_for
+  | Watchdog of { proc : int; clock : float; limit : float }
+  | Invalid_read of { proc : int; array : string; index : int array;
+                      clock : float }
   | Runtime_error of string
 
 exception Sim_error of error
 
+let pp_blocked_on ppf = function
+  | On_recv { src; tag } -> Fmt.pf ppf "recv from p%d tag %d" src tag
+  | On_collective { site; label } -> Fmt.pf ppf "collective site %d (%s)" site label
+
+let pp_waiter ppf w =
+  Fmt.pf ppf "p%d blocked on %a at t=%.1fus" w.w_proc pp_blocked_on w.w_on
+    (w.w_clock *. 1e6)
+
+let pp_lost ppf l =
+  Fmt.pf ppf "p%d -> p%d tag %d seq %d lost after %d attempts" l.l_src l.l_dest
+    l.l_tag l.l_seq l.l_attempts
+
 let error_to_string = function
-  | Deadlock s -> "deadlock: " ^ s
+  | Deadlock wf ->
+    let parts =
+      List.map (Fmt.str "%a" pp_waiter) wf.waiting
+      @ (match wf.cycle with
+        | [] -> []
+        | c ->
+          [ Fmt.str "wait cycle: %s"
+              (String.concat " -> "
+                 (List.map (Fmt.str "p%d") (c @ [ List.hd c ]))) ])
+      @ List.map (Fmt.str "%a" pp_lost) wf.lost
+    in
+    "deadlock: " ^ String.concat "; " parts
+  | Watchdog { proc; clock; limit } ->
+    Fmt.str
+      "watchdog: p%d exceeded the virtual-time limit (%.1fus > %.1fus); \
+       livelock or unrecoverable message loss"
+      proc (clock *. 1e6) (limit *. 1e6)
+  | Invalid_read { proc; array; index; clock } ->
+    Fmt.str
+      "strict-validity violation: p%d read non-owned, never-received element \
+       %s(%s) at t=%.1fus: missing communication"
+      proc array
+      (String.concat "," (Array.to_list (Array.map string_of_int index)))
+      (clock *. 1e6)
   | Runtime_error s -> "runtime error: " ^ s
 
 type outcome =
@@ -28,16 +92,26 @@ type outcome =
   | O_blocked_recv of { src : int; tag : int; k : (Message.t, outcome) continuation }
   | O_blocked_coll of { site : int; op : Eff.coll_op; k : (unit, outcome) continuation }
 
+(* Per-(src, dest, tag) channel: the sender side stamps [send_seq]; the
+   receiver side delivers strictly in seq order from [pending], which
+   holds arrived-but-undelivered messages keyed by seq (a reassembly
+   buffer: retransmitted messages can arrive out of order). *)
+type chan = {
+  mutable send_seq : int;
+  mutable deliver_seq : int;
+  pending : (int, Message.t * float) Hashtbl.t;  (* seq -> (msg, arrival) *)
+}
+
 type t = {
   config : Config.t;
   stats : Stats.t;
-  channels : (int * int * int, (Message.t * float) Queue.t) Hashtbl.t;
-  (* (src, dest, tag) -> queued messages with arrival times *)
+  channels : (int * int * int, chan) Hashtbl.t;  (* (src, dest, tag) *)
   parked : (int, int * int * (Message.t, outcome) continuation) Hashtbl.t;
   (* blocked receivers: proc -> (src, tag, continuation) *)
   colls : (int, (int * Eff.coll_op * (unit, outcome) continuation) list ref) Hashtbl.t;
   runq : (int * (unit -> outcome)) Queue.t;
   final_frames : Interp.frame option array;
+  mutable lost : lost_msg list;  (* permanently undeliverable, reversed *)
 }
 
 let create config =
@@ -47,30 +121,147 @@ let create config =
     parked = Hashtbl.create 8;
     colls = Hashtbl.create 8;
     runq = Queue.create ();
-    final_frames = Array.make config.Config.nprocs None }
+    final_frames = Array.make config.Config.nprocs None;
+    lost = [] }
 
 let channel t key =
   match Hashtbl.find_opt t.channels key with
-  | Some q -> q
+  | Some c -> c
   | None ->
-    let q = Queue.create () in
-    Hashtbl.replace t.channels key q;
-    q
+    let c = { send_seq = 0; deliver_seq = 0; pending = Hashtbl.create 4 } in
+    Hashtbl.replace t.channels key c;
+    c
 
 let record t ev =
   if t.config.Config.record_trace then t.stats.Stats.trace <- ev :: t.stats.Stats.trace
 
+(* Advance processor [p]'s clock to [clock], enforcing the virtual-time
+   watchdog: a runaway or livelocked run becomes a diagnosable timeout. *)
+let set_clock t p clock =
+  t.stats.Stats.clocks.(p) <- clock;
+  match t.config.Config.faults with
+  | Some { Fault.watchdog = Some limit; _ } when clock > limit ->
+    t.stats.Stats.watchdog_fired <- true;
+    raise (Sim_error (Watchdog { proc = p; clock; limit }))
+  | _ -> ()
+
+let slowdown t p =
+  match t.config.Config.faults with
+  | Some plan -> Fault.slowdown_for plan p
+  | None -> 1.0
+
+(* Deliver the next in-order message on [ch], if it has arrived. *)
+let take_deliverable ch =
+  match Hashtbl.find_opt ch.pending ch.deliver_seq with
+  | Some (msg, arrival) ->
+    Hashtbl.remove ch.pending ch.deliver_seq;
+    ch.deliver_seq <- ch.deliver_seq + 1;
+    Some (msg, arrival)
+  | None -> None
+
+let accept_recv t p ~src ~tag (msg, arrival) =
+  let before = t.stats.Stats.clocks.(p) in
+  set_clock t p (Float.max before arrival);
+  let waited = Float.max 0.0 (arrival -. before) in
+  t.stats.Stats.max_wait <- Float.max t.stats.Stats.max_wait waited;
+  record t
+    (Stats.Ev_recv { at = t.stats.Stats.clocks.(p); src; dest = p; tag; waited });
+  msg
+
 let resume_recv t p src tag k : unit -> outcome =
   fun () ->
-    let q = channel t (src, p, tag) in
-    let msg, arrival = Queue.pop q in
-    let before = t.stats.Stats.clocks.(p) in
-    t.stats.Stats.clocks.(p) <- Float.max before arrival;
-    let waited = Float.max 0.0 (arrival -. before) in
-    t.stats.Stats.max_wait <- Float.max t.stats.Stats.max_wait waited;
+    let ch = channel t (src, p, tag) in
+    match take_deliverable ch with
+    | Some delivery -> continue k (accept_recv t p ~src ~tag delivery)
+    | None ->
+      (* woken spuriously; repark *)
+      O_blocked_recv { src; tag; k }
+
+(* Insert an arrived copy into the reassembly buffer, dropping
+   duplicates by sequence number; wakes a parked receiver when the copy
+   is the one it can deliver next. *)
+let insert_arrival t (msg : Message.t) arrival =
+  let src = msg.Message.src and dest = msg.Message.dest and tag = msg.Message.tag in
+  let ch = channel t (src, dest, tag) in
+  if msg.Message.seq < ch.deliver_seq || Hashtbl.mem ch.pending msg.Message.seq
+  then begin
+    t.stats.Stats.duplicates_dropped <- t.stats.Stats.duplicates_dropped + 1;
     record t
-      (Stats.Ev_recv { at = t.stats.Stats.clocks.(p); src; dest = p; tag; waited });
-    continue k msg
+      (Stats.Ev_fault
+         { at = arrival; src; dest; tag; seq = msg.Message.seq; kind = "duplicate" })
+  end
+  else begin
+    Hashtbl.replace ch.pending msg.Message.seq (msg, arrival);
+    if msg.Message.seq = ch.deliver_seq then
+      match Hashtbl.find_opt t.parked dest with
+      | Some (src', tag', krecv) when src' = src && tag' = tag ->
+        Hashtbl.remove t.parked dest;
+        Queue.add (dest, resume_recv t dest src' tag' krecv) t.runq
+      | _ -> ()
+  end
+
+(* The network layer: stamp the sequence number, price the send, decide
+   the message's fate under the fault plan, and enqueue the arrival(s).
+   Recovery latency (retransmit timeouts, jitter, reorder penalties) is
+   charged to the arrival time, so receive waits — and therefore Stats —
+   honestly reflect the degraded network. *)
+let transmit t p (msg : Message.t) =
+  let ch = channel t (msg.Message.src, msg.Message.dest, msg.Message.tag) in
+  let seq = ch.send_seq in
+  ch.send_seq <- seq + 1;
+  let msg = { msg with Message.seq = seq } in
+  set_clock t p (t.stats.Stats.clocks.(p) +. t.config.Config.alpha);
+  let base_arrival =
+    t.stats.Stats.clocks.(p)
+    +. (t.config.Config.beta *. float_of_int msg.Message.bytes)
+  in
+  t.stats.Stats.messages <- t.stats.Stats.messages + 1;
+  t.stats.Stats.message_bytes <- t.stats.Stats.message_bytes + msg.Message.bytes;
+  record t
+    (Stats.Ev_send
+       { at = t.stats.Stats.clocks.(p); src = msg.Message.src;
+         dest = msg.Message.dest; tag = msg.Message.tag;
+         bytes = msg.Message.bytes });
+  match t.config.Config.faults with
+  | None -> insert_arrival t msg base_arrival
+  | Some plan ->
+    let d =
+      Fault.deliver plan
+        ~msg_cost:(Config.message_cost t.config msg.Message.bytes)
+        ~src:msg.Message.src ~dest:msg.Message.dest ~tag:msg.Message.tag ~seq
+    in
+    t.stats.Stats.faults_injected <- t.stats.Stats.faults_injected + d.Fault.injected;
+    t.stats.Stats.retransmits <- t.stats.Stats.retransmits + (d.Fault.attempts - 1);
+    if d.Fault.attempts > 1 then
+      record t
+        (Stats.Ev_fault
+           { at = base_arrival; src = msg.Message.src; dest = msg.Message.dest;
+             tag = msg.Message.tag; seq; kind = "retransmit" });
+    if d.Fault.lost then begin
+      t.stats.Stats.messages_lost <- t.stats.Stats.messages_lost + 1;
+      t.lost <-
+        { l_src = msg.Message.src; l_dest = msg.Message.dest;
+          l_tag = msg.Message.tag; l_seq = seq; l_attempts = d.Fault.attempts }
+        :: t.lost;
+      record t
+        (Stats.Ev_fault
+           { at = base_arrival; src = msg.Message.src; dest = msg.Message.dest;
+             tag = msg.Message.tag; seq; kind = "lost" })
+    end
+    else begin
+      t.stats.Stats.fault_delay <- t.stats.Stats.fault_delay +. d.Fault.added_delay;
+      let arrival = base_arrival +. d.Fault.added_delay in
+      if d.Fault.added_delay > 0.0 && d.Fault.attempts = 1 then
+        record t
+          (Stats.Ev_fault
+             { at = arrival; src = msg.Message.src; dest = msg.Message.dest;
+               tag = msg.Message.tag; seq; kind = "delayed" });
+      insert_arrival t msg arrival;
+      if d.Fault.duplicated then
+        (* the duplicate trails the original by one startup cost and is
+           deduped on insertion *)
+        insert_arrival t msg (arrival +. t.config.Config.alpha)
+    end
 
 (* Run one processor's computation under the effect handler. *)
 let run_proc t (p : int) (f : unit -> Interp.frame) : outcome =
@@ -83,55 +274,22 @@ let run_proc t (p : int) (f : unit -> Interp.frame) : outcome =
           | Eff.Tick dt ->
             Some
               (fun (k : (a, outcome) continuation) ->
-                t.stats.Stats.clocks.(p) <- t.stats.Stats.clocks.(p) +. dt;
+                let dt = dt *. slowdown t p in
+                set_clock t p (t.stats.Stats.clocks.(p) +. dt);
                 t.stats.Stats.busy.(p) <- t.stats.Stats.busy.(p) +. dt;
                 continue k ())
           | Eff.Send msg ->
             Some
               (fun (k : (a, outcome) continuation) ->
-                let send_cost = t.config.Config.alpha in
-                t.stats.Stats.clocks.(p) <- t.stats.Stats.clocks.(p) +. send_cost;
-                let arrival =
-                  t.stats.Stats.clocks.(p)
-                  +. (t.config.Config.beta *. float_of_int msg.Message.bytes)
-                in
-                t.stats.Stats.messages <- t.stats.Stats.messages + 1;
-                t.stats.Stats.message_bytes <-
-                  t.stats.Stats.message_bytes + msg.Message.bytes;
-                record t
-                  (Stats.Ev_send
-                     { at = t.stats.Stats.clocks.(p); src = msg.Message.src;
-                       dest = msg.Message.dest; tag = msg.Message.tag;
-                       bytes = msg.Message.bytes });
-                Queue.add (msg, arrival)
-                  (channel t (msg.Message.src, msg.Message.dest, msg.Message.tag));
-                (* wake a parked receiver waiting on this channel *)
-                (match Hashtbl.find_opt t.parked msg.Message.dest with
-                | Some (src', tag', krecv)
-                  when src' = msg.Message.src && tag' = msg.Message.tag ->
-                  Hashtbl.remove t.parked msg.Message.dest;
-                  Queue.add
-                    (msg.Message.dest,
-                     resume_recv t msg.Message.dest src' tag' krecv)
-                    t.runq
-                | _ -> ());
+                transmit t p msg;
                 continue k ())
           | Eff.Recv (src, tag) ->
             Some
               (fun (k : (a, outcome) continuation) ->
-                let q = channel t (src, p, tag) in
-                if not (Queue.is_empty q) then begin
-                  let msg, arrival = Queue.pop q in
-                  let before = t.stats.Stats.clocks.(p) in
-                  t.stats.Stats.clocks.(p) <- Float.max before arrival;
-                  let waited = Float.max 0.0 (arrival -. before) in
-                  t.stats.Stats.max_wait <- Float.max t.stats.Stats.max_wait waited;
-                  record t
-                    (Stats.Ev_recv
-                       { at = t.stats.Stats.clocks.(p); src; dest = p; tag; waited });
-                  continue k msg
-                end
-                else O_blocked_recv { src; tag; k })
+                let ch = channel t (src, p, tag) in
+                match take_deliverable ch with
+                | Some delivery -> continue k (accept_recv t p ~src ~tag delivery)
+                | None -> O_blocked_recv { src; tag; k })
           | Eff.Collective (site, op) ->
             Some (fun (k : (a, outcome) continuation) -> O_blocked_coll { site; op; k })
           | Eff.Output line ->
@@ -167,7 +325,7 @@ let perform_bcast t (parts : (int * Eff.coll_op * (unit, outcome) continuation) 
   record t (Stats.Ev_bcast { at = tmax +. cost; root; bytes; site = 0 });
   List.iter
     (fun (p, op, _) ->
-      t.stats.Stats.clocks.(p) <- tmax +. cost;
+      set_clock t p (tmax +. cost);
       match op with
       | Eff.Coll_bcast { write; _ } -> if p <> root then write elems
       | Eff.Coll_remap _ ->
@@ -278,8 +436,12 @@ let perform_remap t (parts : (int * Eff.coll_op * (unit, outcome) continuation) 
           +. (t.config.Config.beta *. float_of_int (sent.(p) + received.(p)))
         else 0.0
       in
-      t.stats.Stats.clocks.(p) <- tmax +. cost)
+      set_clock t p (tmax +. cost))
     parts
+
+let coll_label = function
+  | Eff.Coll_bcast { label; _ } -> "broadcast " ^ label
+  | Eff.Coll_remap { obj; _ } -> "remap " ^ obj.Storage.name
 
 let perform_collective t site =
   match Hashtbl.find_opt t.colls site with
@@ -293,22 +455,76 @@ let perform_collective t site =
     | [] -> ());
     List.iter (fun (p, _, k) -> Queue.add (p, fun () -> continue k ()) t.runq) parts
 
-(* --- Main loop --------------------------------------------------------- *)
+(* --- Failure diagnosis ------------------------------------------------- *)
 
-let describe_blocked t =
-  let parts = ref [] in
+(* The wait-for graph at quiescence: every blocked processor, who it
+   waits for, a cycle (if one exists) among those edges, and any
+   permanently lost messages that explain the blockage. *)
+let wait_for_graph t : wait_for =
+  let nprocs = t.config.Config.nprocs in
+  let waiting = ref [] in
+  let succs = Array.make nprocs [] in
+  let blocked = Array.make nprocs false in
   Hashtbl.iter
     (fun p (src, tag, _) ->
-      parts := Fmt.str "p%d waiting recv from p%d tag %d" p src tag :: !parts)
+      blocked.(p) <- true;
+      succs.(p) <- [ src ];
+      waiting :=
+        { w_proc = p; w_on = On_recv { src; tag };
+          w_clock = t.stats.Stats.clocks.(p) }
+        :: !waiting)
     t.parked;
   Hashtbl.iter
     (fun site members ->
-      parts :=
-        Fmt.str "collective site %d has %d/%d participants" site
-          (List.length !members) t.config.Config.nprocs
-        :: !parts)
+      let present = List.map (fun (p, _, _) -> p) !members in
+      let absent =
+        List.filter (fun q -> not (List.mem q present))
+          (List.init nprocs (fun q -> q))
+      in
+      List.iter
+        (fun (p, op, _) ->
+          blocked.(p) <- true;
+          succs.(p) <- absent;
+          waiting :=
+            { w_proc = p; w_on = On_collective { site; label = coll_label op };
+              w_clock = t.stats.Stats.clocks.(p) }
+            :: !waiting)
+        !members)
     t.colls;
-  String.concat "; " (List.rev !parts)
+  (* cycle extraction: DFS over the wait-for edges; [path] holds the
+     gray stack with the current node at its head *)
+  let state = Array.make nprocs 0 in  (* 0 unvisited, 1 on stack, 2 done *)
+  let cycle = ref [] in
+  let rec dfs path p =
+    List.iter
+      (fun q ->
+        if !cycle = [] && blocked.(q) then
+          if state.(q) = 1 then begin
+            (* back edge p -> q: the cycle is q .. p along the stack *)
+            let rec upto = function
+              | [] -> []
+              | r :: rest -> if r = q then [ r ] else r :: upto rest
+            in
+            cycle := List.rev (upto path)
+          end
+          else if state.(q) = 0 then begin
+            state.(q) <- 1;
+            dfs (q :: path) q;
+            state.(q) <- 2
+          end)
+      succs.(p)
+  in
+  for p = 0 to nprocs - 1 do
+    if blocked.(p) && state.(p) = 0 then begin
+      state.(p) <- 1;
+      dfs [ p ] p;
+      state.(p) <- 2
+    end
+  done;
+  let order w w' = compare w.w_proc w'.w_proc in
+  { waiting = List.sort order !waiting; cycle = !cycle; lost = List.rev t.lost }
+
+(* --- Main loop --------------------------------------------------------- *)
 
 let run (config : Config.t) (prog : Node.program) : Stats.t * Interp.frame array =
   let t = create config in
@@ -326,8 +542,8 @@ let run (config : Config.t) (prog : Node.program) : Stats.t * Interp.frame array
          t.final_frames.(p) <- Some frame;
          incr finished
        | O_blocked_recv { src; tag; k } ->
-         let q = channel t (src, p, tag) in
-         if not (Queue.is_empty q) then
+         let ch = channel t (src, p, tag) in
+         if Hashtbl.mem ch.pending ch.deliver_seq then
            Queue.add (p, resume_recv t p src tag k) t.runq
          else Hashtbl.replace t.parked p (src, tag, k)
        | O_blocked_coll { site; op; k } ->
@@ -345,13 +561,9 @@ let run (config : Config.t) (prog : Node.program) : Stats.t * Interp.frame array
    with Storage.Invalid_read { array; index; proc } ->
      raise
        (Sim_error
-          (Runtime_error
-             (Fmt.str
-                "processor %d read non-owned, never-received element %s(%s): missing communication"
-                proc array
-                (String.concat "," (Array.to_list (Array.map string_of_int index)))))));
-  if !finished < nprocs then
-    raise (Sim_error (Deadlock (describe_blocked t)));
+          (Invalid_read
+             { proc; array; index; clock = t.stats.Stats.clocks.(proc) })));
+  if !finished < nprocs then raise (Sim_error (Deadlock (wait_for_graph t)));
   let frames =
     Array.map
       (function Some f -> f | None -> raise (Sim_error (Runtime_error "missing final frame")))

@@ -5,6 +5,9 @@ type event =
   | Ev_recv of { at : float; src : int; dest : int; tag : int; waited : float }
   | Ev_bcast of { at : float; root : int; bytes : int; site : int }
   | Ev_remap of { at : float; array : string; moved_bytes : int; mark_only : bool }
+  | Ev_fault of { at : float; src : int; dest : int; tag : int; seq : int;
+                  kind : string }
+      (* kind: "retransmit" | "duplicate" | "delayed" | "lost" *)
 
 type t = {
   nprocs : int;
@@ -18,6 +21,12 @@ type t = {
   mutable flops : int;
   mutable mem_ops : int;
   mutable max_wait : float;      (* longest single receive wait, seconds *)
+  mutable faults_injected : int; (* fault events the plan applied *)
+  mutable retransmits : int;     (* recovery retransmissions performed *)
+  mutable duplicates_dropped : int;  (* copies deduped on sequence number *)
+  mutable messages_lost : int;   (* messages lost after max retries *)
+  mutable fault_delay : float;   (* total added arrival latency, seconds *)
+  mutable watchdog_fired : bool; (* virtual-time watchdog aborted the run *)
   clocks : float array;          (* per-processor virtual time, seconds *)
   busy : float array;            (* per-processor compute time *)
   mutable outputs : (int * string) list;  (* (proc, line), reversed *)
@@ -27,7 +36,9 @@ type t = {
 let create nprocs =
   { nprocs; messages = 0; message_bytes = 0; bcasts = 0; bcast_bytes = 0;
     remaps = 0; remap_marks = 0; remap_bytes = 0; flops = 0; mem_ops = 0;
-    max_wait = 0.0; clocks = Array.make nprocs 0.0; busy = Array.make nprocs 0.0;
+    max_wait = 0.0; faults_injected = 0; retransmits = 0; duplicates_dropped = 0;
+    messages_lost = 0; fault_delay = 0.0; watchdog_fired = false;
+    clocks = Array.make nprocs 0.0; busy = Array.make nprocs 0.0;
     outputs = []; trace = [] }
 
 let elapsed t = Array.fold_left max 0.0 t.clocks
@@ -52,6 +63,9 @@ let pp_event ppf = function
   | Ev_remap { at; array; moved_bytes; mark_only } ->
     Fmt.pf ppf "%10.1f us  remap %s  %s" (at *. 1e6) array
       (if mark_only then "(mark only)" else Fmt.str "%d bytes moved" moved_bytes)
+  | Ev_fault { at; src; dest; tag; seq; kind } ->
+    Fmt.pf ppf "%10.1f us  fault %-10s p%d -> p%d  tag %d seq %d" (at *. 1e6)
+      kind src dest tag seq
 
 let to_json t : Fd_support.Json.t =
   let farr a = Fd_support.Json.List (Array.to_list (Array.map (fun x -> Fd_support.Json.Float x) a)) in
@@ -69,6 +83,12 @@ let to_json t : Fd_support.Json.t =
       ("elapsed", Float (elapsed t));
       ("total_busy", Float (total_busy t));
       ("max_wait", Float t.max_wait);
+      ("faults_injected", Int t.faults_injected);
+      ("retransmits", Int t.retransmits);
+      ("duplicates_dropped", Int t.duplicates_dropped);
+      ("messages_lost", Int t.messages_lost);
+      ("fault_delay", Float t.fault_delay);
+      ("watchdog_fired", Int (if t.watchdog_fired then 1 else 0));
       ("comm_ops", Int (comm_ops t));
       ("clocks", farr t.clocks);
       ("busy", farr t.busy);
@@ -76,6 +96,17 @@ let to_json t : Fd_support.Json.t =
 
 let pp ppf t =
   Fmt.pf ppf
-    "@[<v>elapsed %.3f ms on %d procs@ messages: %d (%d bytes), broadcasts: %d (%d bytes)@ remaps: %d physical (%d bytes) + %d mark-only@ flops: %d, memory ops: %d@]"
+    "@[<v>elapsed %.3f ms on %d procs@ messages: %d (%d bytes), broadcasts: %d (%d bytes)@ remaps: %d physical (%d bytes) + %d mark-only@ flops: %d, memory ops: %d"
     (elapsed t *. 1e3) t.nprocs t.messages t.message_bytes t.bcasts t.bcast_bytes
-    t.remaps t.remap_bytes t.remap_marks t.flops t.mem_ops
+    t.remaps t.remap_bytes t.remap_marks t.flops t.mem_ops;
+  (* printed only under an active fault plan, so fault-free output is
+     byte-identical to the reliable-network simulator's *)
+  if
+    t.faults_injected > 0 || t.retransmits > 0 || t.duplicates_dropped > 0
+    || t.messages_lost > 0 || t.watchdog_fired
+  then
+    Fmt.pf ppf
+      "@ faults: %d injected, %d retransmits, %d duplicates dropped, %d lost, +%.1f us delay"
+      t.faults_injected t.retransmits t.duplicates_dropped t.messages_lost
+      (t.fault_delay *. 1e6);
+  Fmt.pf ppf "@]"

@@ -5,6 +5,10 @@ type event =
   | Ev_recv of { at : float; src : int; dest : int; tag : int; waited : float }
   | Ev_bcast of { at : float; root : int; bytes : int; site : int }
   | Ev_remap of { at : float; array : string; moved_bytes : int; mark_only : bool }
+  | Ev_fault of { at : float; src : int; dest : int; tag : int; seq : int;
+                  kind : string }
+      (** an injected network fault: ["retransmit"], ["duplicate"],
+          ["delayed"], or ["lost"] *)
 
 type t = {
   nprocs : int;
@@ -19,6 +23,19 @@ type t = {
   mutable mem_ops : int;
   mutable max_wait : float;
       (** longest single receive wait (seconds), over all processors *)
+  mutable faults_injected : int;
+      (** fault events applied by the {!Fault} plan (drops, duplicates,
+          jitter, reorders); 0 on a reliable network *)
+  mutable retransmits : int;
+      (** recovery retransmissions performed by the ack/retransmit layer *)
+  mutable duplicates_dropped : int;
+      (** duplicate copies discarded by sequence-number dedup *)
+  mutable messages_lost : int;
+      (** messages undeliverable after [max_retries] retransmissions *)
+  mutable fault_delay : float;
+      (** total extra arrival latency injected (timeouts + jitter), s *)
+  mutable watchdog_fired : bool;
+      (** the virtual-time watchdog aborted the run *)
   clocks : float array;          (** per-processor virtual time, seconds *)
   busy : float array;            (** per-processor compute time *)
   mutable outputs : (int * string) list;  (** (proc, line), reversed *)

@@ -17,4 +17,9 @@ val to_string : t -> string
     Non-finite floats render as [null] — JSON has no representation for
     them. *)
 
+val equal : t -> t -> bool
+(** Structural equality (object fields compared in order).  Used by the
+    fault oracle and tests to assert that two runs produced identical
+    statistics. *)
+
 val pp : Format.formatter -> t -> unit

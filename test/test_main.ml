@@ -13,5 +13,6 @@ let () =
       ("common", Test_common.suite);
       ("units4", Test_units4.suite);
       ("properties", Test_properties.suite);
+      ("faults", Test_faults.suite);
       ("integration", Test_integration.suite);
     ]

@@ -267,7 +267,8 @@ let trace_recording () =
     (List.for_all
        (function
          | Stats.Ev_send { at; _ } | Stats.Ev_recv { at; _ }
-         | Stats.Ev_bcast { at; _ } | Stats.Ev_remap { at; _ } -> at >= 0.0)
+         | Stats.Ev_bcast { at; _ } | Stats.Ev_remap { at; _ }
+         | Stats.Ev_fault { at; _ } -> at >= 0.0)
        tr);
   (* no trace without the flag *)
   let r2 = Driver.run_source (Fd_workloads.Figures.fig1 ~n:100 ()) in
