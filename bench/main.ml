@@ -420,6 +420,42 @@ let e12 () =
     "(acks and retransmits are charged to the virtual clock; every run@.\
     \ remains bit-identical to sequential execution despite the faults)@."
 
+(* --- E13: static verification vs full simulation ----------------------------- *)
+
+let e13 () =
+  let n = if quick then 16 else 64 in
+  header
+    (Fmt.str "E13: static verification (fdc check) vs full simulation (dgefa n=%d)" n);
+  Fmt.pr "%4s | %10s | %7s | %7s | %8s | %12s | %8s@." "P" "check (ms)"
+    "visits" "events" "findings" "simulate(ms)" "ratio";
+  Fmt.pr "-----+------------+---------+---------+----------+--------------+---------@.";
+  let src = Fd_workloads.Dgefa.source ~n () in
+  let cp = Driver.check_source src in
+  List.iter
+    (fun p ->
+      let opts = { Options.default with Options.nprocs = p } in
+      let compiled = Driver.compile ~opts cp in
+      let t0 = Unix.gettimeofday () in
+      let vr = Fd_verify.Verify.check_node ~nprocs:p compiled.Codegen.program in
+      let t_check = (Unix.gettimeofday () -. t0) *. 1e3 in
+      let errors =
+        List.length (Fd_verify.Finding.errors vr.Fd_verify.Verify.findings)
+      in
+      if errors > 0 then failwith "E13: static errors on a correct program";
+      let config = Driver.machine_config opts in
+      let t1 = Unix.gettimeofday () in
+      let _stats, _frames = Scheduler.run config compiled.Codegen.program in
+      let t_sim = (Unix.gettimeofday () -. t1) *. 1e3 in
+      Fmt.pr "%4d | %10.3f | %7d | %7d | %8d | %12.3f | %7.1fx@." p t_check
+        vr.Fd_verify.Verify.visits vr.Fd_verify.Verify.events
+        (List.length vr.Fd_verify.Verify.findings) t_sim
+        (t_sim /. Float.max t_check 1e-6))
+    (if quick then [ 4; 16 ] else [ 4; 16; 64 ]);
+  Fmt.pr
+    "(check walks all P processors abstractly and replays the event@.\
+    \ skeleton; simulate is the wall-clock cost of the full fault-free@.\
+    \ virtual-time simulation of the same node program)@."
+
 let () =
   Fmt.pr "Fortran D interprocedural compilation - experiment tables@.";
   Fmt.pr "(machine model: %a)@." Config.pp (Config.ipsc860 ~nprocs:4 ());
@@ -436,5 +472,6 @@ let () =
   e10 ();
   e11 ();
   e12 ();
+  e13 ();
   if micro then e8b ();
   Fmt.pr "@.all experiments verified against sequential execution.@."

@@ -55,13 +55,31 @@ let opts_of ?(no_agg = false) nprocs strategy remap no_coll =
     Fd_core.Options.nprocs; strategy; remap_level = remap;
     use_collectives = not no_coll; aggregate_messages = not no_agg }
 
-let wrap_code f =
-  try f ()
-  with
-  | Fd_support.Diag.Compile_error d ->
+let strict_arg =
+  Arg.(value & flag
+       & info [ "strict" ]
+           ~doc:"Treat warnings (compiler diagnostics, check findings) as \
+                 failures: nonzero exit when any are produced")
+
+(* Uniform exit-code discipline: every subcommand drains the warning
+   sink, reports it, and under --strict a clean run with warnings exits
+   nonzero.  An already-failing exit code is never masked. *)
+let drain_warnings ~strict =
+  let ws = Fd_support.Diag.take_warnings () in
+  List.iter (fun w -> Fmt.epr "%s@." (Fd_support.Diag.to_string w)) ws;
+  if strict && ws <> [] then 1 else 0
+
+let wrap_code ?(strict = false) f =
+  match f () with
+  | code ->
+    let wcode = drain_warnings ~strict in
+    if code <> 0 then code else wcode
+  | exception Fd_support.Diag.Compile_error d ->
+    ignore (drain_warnings ~strict);
     Fmt.epr "%s@." (Fd_support.Diag.to_string d);
     1
-  | Fd_machine.Scheduler.Sim_error e ->
+  | exception Fd_machine.Scheduler.Sim_error e ->
+    ignore (drain_warnings ~strict);
     Fmt.epr "simulation failed: %s@." (Fd_machine.Scheduler.error_to_string e);
     1
 
@@ -135,8 +153,8 @@ let faults_of ?(seed = None) ~drop ~dup ~delay () =
 
 let run_cmd =
   let run file nprocs strategy remap no_coll trace no_agg json fault_seed drop
-      dup delay =
-    wrap_code (fun () ->
+      dup delay strict =
+    wrap_code ~strict (fun () ->
         let opts = opts_of ~no_agg nprocs strategy remap no_coll in
         let machine =
           Fd_machine.Config.make ~nprocs ~record_trace:trace
@@ -183,7 +201,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Compile, simulate and verify")
     Term.(const run $ file_arg $ nprocs_arg $ strategy_arg $ remap_arg $ collectives_arg
           $ trace_arg $ no_agg_arg $ json_arg $ fault_seed_arg $ drop_arg $ dup_arg
-          $ delay_arg)
+          $ delay_arg $ strict_arg)
 
 (* --- fdc oracle: the differential fault oracle -------------------------- *)
 
@@ -262,9 +280,83 @@ let oracle_cmd =
              execution and seed-reproducibility of statistics")
     Term.(const run $ files_arg $ nprocs_arg $ seeds_arg)
 
+(* --- fdc check: the static SPMD communication verifier ------------------ *)
+
+(* Back the source lint's "reaching decomposition" query with the
+   interprocedural reaching-decompositions analysis. *)
+let reaching_hook cp =
+  match
+    let acg = Fd_callgraph.Acg.build cp in
+    Fd_core.Reaching_decomps.compute acg
+  with
+  | rd ->
+    Some
+      (fun ~uname ~sid array ->
+        match Fd_core.Reaching_decomps.local_of rd uname with
+        | lr ->
+          let fact = Fd_core.Reaching_decomps.fact_before lr sid in
+          let r = Fd_core.Reaching_decomps.get_reaching fact array in
+          not
+            (Fd_core.Decomp.reaching_equal r Fd_core.Decomp.reaching_bottom)
+        | exception _ -> true)
+  | exception _ -> None
+
+let check_cmd =
+  let run file nprocs strategy remap no_coll json strict =
+    wrap_code ~strict (fun () ->
+        let src = read_file file in
+        let cp = Fd_core.Driver.check_source ~file src in
+        let opts = opts_of nprocs strategy remap no_coll in
+        let compiled = Fd_core.Driver.compile ~opts cp in
+        let prog, unapplied =
+          Fd_verify.Break.apply compiled.Fd_core.Codegen.program
+            (Fd_verify.Break.scan src)
+        in
+        List.iter
+          (Fmt.epr "fdc check: !break directive %S did not apply@.")
+          unapplied;
+        let lint = Fd_verify.Lint.run ?reaching:(reaching_hook cp) cp in
+        let vr = Fd_verify.Verify.check_node ~nprocs prog in
+        let findings =
+          Fd_verify.Finding.sort (lint @ vr.Fd_verify.Verify.findings)
+        in
+        if json then begin
+          let j =
+            match Fd_verify.Finding.report_json findings with
+            | Fd_support.Json.Obj fields ->
+              Fd_support.Json.Obj
+                (("file", Fd_support.Json.Str file)
+                 :: ( "strategy",
+                      Fd_support.Json.Str (Fd_core.Options.strategy_name strategy) )
+                 :: ("nprocs", Fd_support.Json.Int nprocs)
+                 :: ("visits", Fd_support.Json.Int vr.Fd_verify.Verify.visits)
+                 :: ("events", Fd_support.Json.Int vr.Fd_verify.Verify.events)
+                 :: fields)
+            | other -> other
+          in
+          Fmt.pr "%s@." (Fd_support.Json.to_string j)
+        end
+        else begin
+          List.iter (fun f -> Fmt.pr "%a@." Fd_verify.Finding.pp f) findings;
+          let e, w, i = Fd_verify.Finding.counts findings in
+          Fmt.pr "check %s [%s, P=%d]: %d error(s), %d warning(s), %d info@."
+            (Filename.basename file)
+            (Fd_core.Options.strategy_name strategy)
+            nprocs e w i
+        end;
+        Fd_verify.Verify.exit_code ~strict findings)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Statically verify the compiled SPMD communication (send/recv \
+             matching, collective congruence, payload bounds) and lint the \
+             Fortran D source, without running the simulator")
+    Term.(const run $ file_arg $ nprocs_arg $ strategy_arg $ remap_arg
+          $ collectives_arg $ json_arg $ strict_arg)
+
 let passes_cmd =
-  let run file nprocs strategy remap no_coll dump_after verify json =
-    wrap_code (fun () ->
+  let run file nprocs strategy remap no_coll dump_after verify json strict =
+    wrap_code ~strict (fun () ->
         let opts = opts_of nprocs strategy remap no_coll in
         let ctx = Fd_core.Pipeline.of_source ~opts ~file (read_file file) in
         let report = Fd_core.Pipeline.run ~verify ~dump_after ctx in
@@ -288,7 +380,7 @@ let passes_cmd =
     (Cmd.info "passes"
        ~doc:"Run the compilation pipeline, printing per-pass timings and artifact sizes")
     Term.(const run $ file_arg $ nprocs_arg $ strategy_arg $ remap_arg $ collectives_arg
-          $ dump_after_arg $ verify_arg $ json_arg)
+          $ dump_after_arg $ verify_arg $ json_arg $ strict_arg)
 
 let exports_cmd =
   let run file nprocs strategy remap no_coll =
@@ -407,6 +499,6 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "fdc" ~doc)
-          [ ast_cmd; acg_cmd; spmd_cmd; run_cmd; passes_cmd; exports_cmd;
+          [ ast_cmd; acg_cmd; spmd_cmd; run_cmd; check_cmd; passes_cmd; exports_cmd;
             overlap_cmd; recompile_cmd; seq_cmd; partition_cmd; fuzz_cmd;
             oracle_cmd ]))

@@ -1431,17 +1431,19 @@ let request_key = function
               | Comm.Od_full (a, b) -> Fmt.str "F%d:%d" a b)
             rb_other))
 
-let emit_request ctx (rq : request) : Node.nstmt list =
+let emit_request ctx ~loc (rq : request) : Node.nstmt list =
   let nprocs = ctx.st.opts.Options.nprocs in
   match rq with
   | Rq_shift { rs_array; rs_layout; rs_dim; rs_need; rs_other } ->
     let owned = Layout.owned rs_layout ~nprocs in
-    Comm.emit_section_comm ~nprocs ~tag:(fresh ctx.st) ~array:rs_array ~owned
-      ~dim:rs_dim ~rank:(Layout.rank rs_layout) ~need:rs_need ~other_dims:rs_other
+    Comm.emit_section_comm ~loc ~nprocs ~tag:(fresh ctx.st) ~array:rs_array
+      ~owned ~dim:rs_dim ~rank:(Layout.rank rs_layout) ~need:rs_need
+      ~other_dims:rs_other ()
   | Rq_bcast { rb_array; rb_layout; rb_dim; rb_index; rb_other } ->
     if ctx.st.opts.Options.use_collectives then
-      [ Comm.emit_bcast_section ~nprocs ~site:(fresh ctx.st) ~array:rb_array
-          ~layout:rb_layout ~dim:rb_dim ~index:rb_index ~other_dims:rb_other ]
+      [ Comm.emit_bcast_section ~loc ~nprocs ~site:(fresh ctx.st)
+          ~array:rb_array ~layout:rb_layout ~dim:rb_dim ~index:rb_index
+          ~other_dims:rb_other () ]
     else begin
       (* expand to P-1 point-to-point messages from the owner *)
       let root_tmp = Fmt.str "o$%d" (fresh ctx.st) in
@@ -1462,22 +1464,23 @@ let emit_request ctx (rq : request) : Node.nstmt list =
                           Ast.Bin (Ast.Ne, Ast.Var "p$", Ast.Var root_tmp) );
                     then_ =
                       [ Node.N_send
-                          { dest = Ast.Var "p$"; parts = [ (rb_array, sec) ]; tag } ];
+                          { dest = Ast.Var "p$"; parts = [ (rb_array, sec) ];
+                            tag; loc } ];
                     else_ = [] } ] };
         Node.N_if
           { cond = Ast.Bin (Ast.Ne, myp, Ast.Var root_tmp);
-            then_ = [ Node.N_recv { src = Ast.Var root_tmp; tag } ];
+            then_ = [ Node.N_recv { src = Ast.Var root_tmp; tag; loc } ];
             else_ = [] } ]
     end
 
-let emit_placed ctx sid : Node.nstmt list =
+let emit_placed ctx ~loc sid : Node.nstmt list =
   let rqs = List.filter (fun (s, _) -> s = sid) ctx.placements in
   let deduped =
     Listx.dedup ~equal:(fun (_, a) (_, b) -> String.equal (request_key a) (request_key b)) rqs
     |> List.map snd
   in
   if not ctx.st.opts.Options.aggregate_messages then
-    List.concat_map (emit_request ctx) deduped
+    List.concat_map (emit_request ctx ~loc) deduped
   else begin
     (* aggregation (paper Fig. 11): shift transfers over the same layout
        and dimension at one placement share one message per processor
@@ -1496,7 +1499,7 @@ let emit_placed ctx sid : Node.nstmt list =
     List.concat_map
       (fun (key, members) ->
         if String.equal key "" || List.length members < 2 then
-          List.concat_map (emit_request ctx) members
+          List.concat_map (emit_request ctx ~loc) members
         else begin
           let layout, dim =
             match members with
@@ -1512,9 +1515,9 @@ let emit_placed ctx sid : Node.nstmt list =
               members
           in
           let nprocs = ctx.st.opts.Options.nprocs in
-          Comm.emit_section_comm_multi ~nprocs ~tag:(fresh ctx.st)
+          Comm.emit_section_comm_multi ~loc ~nprocs ~tag:(fresh ctx.st)
             ~owned:(Layout.owned layout ~nprocs) ~dim ~rank:(Layout.rank layout)
-            ~parts
+            ~parts ()
         end)
       groups
   end
@@ -1523,7 +1526,7 @@ let layout_of_decomp ctx name (d : Decomp.t) : Layout.t =
   Decomp.layout_of d ~bounds:(bounds_of ctx name) ~nprocs:ctx.st.opts.Options.nprocs
 
 (* Node statements for a remap$ pseudo-statement. *)
-let emit_remap ctx (r : Dynamic_decomp.remap) : Node.nstmt list =
+let emit_remap ctx ~loc (r : Dynamic_decomp.remap) : Node.nstmt list =
   let rank = Symtab.rank ctx.symtab r.Dynamic_decomp.rm_array in
   let kinds =
     match Decomp.dist_dim r.Dynamic_decomp.rm_decomp with
@@ -1533,12 +1536,12 @@ let emit_remap ctx (r : Dynamic_decomp.remap) : Node.nstmt list =
   let layout = layout_of_decomp ctx r.Dynamic_decomp.rm_array (Decomp.of_kinds kinds) in
   [ Node.N_remap
       { array = r.Dynamic_decomp.rm_array; new_layout = layout;
-        move = r.Dynamic_decomp.rm_move; site = fresh ctx.st } ]
+        move = r.Dynamic_decomp.rm_move; site = fresh ctx.st; loc } ]
 
 let in_c_owner_mode ctx = ctx.proc_constraint <> Exports.C_none
 
 (* Scalar-result broadcasts for a guarded call. *)
-let call_scalar_bcasts ctx callee actuals root : Node.nstmt list =
+let call_scalar_bcasts ctx ~loc callee actuals root : Node.nstmt list =
   let ex = export_of ctx.st callee in
   let callee_cu = (Acg.proc ctx.st.acg callee).Acg.cu in
   let callee_formals = callee_cu.Sema.unit_.Ast.formals in
@@ -1549,7 +1552,7 @@ let call_scalar_bcasts ctx callee actuals root : Node.nstmt list =
          | Ast.Var v
            when Exports.SS.mem f ex.Exports.ex_mod_scalars
                 && not (Symtab.is_array ctx.symtab v) ->
-           [ Comm.emit_bcast_scalar ~site:(fresh ctx.st) ~root v ]
+           [ Comm.emit_bcast_scalar ~loc ~site:(fresh ctx.st) ~root v ]
          | _ -> [])
        callee_formals actuals)
   @ List.filter_map
@@ -1557,7 +1560,7 @@ let call_scalar_bcasts ctx callee actuals root : Node.nstmt list =
         if
           Exports.SS.mem n ex.Exports.ex_mod_scalars
           && not (Symtab.is_array ctx.symtab n)
-        then Some (Comm.emit_bcast_scalar ~site:(fresh ctx.st) ~root n)
+        then Some (Comm.emit_bcast_scalar ~loc ~site:(fresh ctx.st) ~root n)
         else None)
       (Symtab.commons callee_cu.Sema.symtab)
 
@@ -1566,11 +1569,12 @@ let rec emit_block ctx (loops : (Ast.stmt * Ast.do_stmt) list) (stmts : Ast.stmt
   List.concat_map (emit_stmt ctx loops) stmts
 
 and emit_stmt ctx loops (s : Ast.stmt) : Node.nstmt list =
-  let pre = emit_placed ctx s.Ast.sid in
+  let loc = s.Ast.loc in
+  let pre = emit_placed ctx ~loc s.Ast.sid in
   let loop_ctxs = List.map (fun (ls, ld) -> loop_ctx_of ctx ls ld) loops in
   let body =
     match Dynamic_decomp.as_remap s with
-    | Some r -> emit_remap ctx r
+    | Some r -> emit_remap ctx ~loc r
     | None ->
       if List.mem s.Ast.sid ctx.fallbacks then
         Runtime_res.compile_stmt (runtime_ctx ctx s.Ast.sid) s
@@ -1618,7 +1622,7 @@ and emit_stmt ctx loops (s : Ast.stmt) : Node.nstmt list =
                 { cond = Ast.Bin (Ast.Eq, myp, root);
                   then_ = [ Node.N_call (callee, actuals) ];
                   else_ = [] }
-              :: call_scalar_bcasts ctx callee actuals root
+              :: call_scalar_bcasts ctx ~loc callee actuals root
             end
           | W_by_loop b -> (
             match partition_of ctx b.wl_lsid with
@@ -1643,7 +1647,7 @@ and emit_stmt ctx loops (s : Ast.stmt) : Node.nstmt list =
                 { cond = Ast.Bin (Ast.Eq, myp, root);
                   then_ = [ Node.N_call (callee, actuals) ];
                   else_ = [] }
-              :: call_scalar_bcasts ctx callee actuals root)
+              :: call_scalar_bcasts ctx ~loc callee actuals root)
           | W_fallback ->
             Diag.error "cannot instantiate the computation partition for call to %s in %s"
               callee ctx.pname)
@@ -1976,7 +1980,7 @@ let compile_proc_runtime_res (st : state) (cu : Sema.checked_unit) : Node.nproc 
     List.concat_map
       (fun (s : Ast.stmt) ->
         match Dynamic_decomp.as_remap s with
-        | Some r -> emit_remap ctx0 r
+        | Some r -> emit_remap ctx0 ~loc:s.Ast.loc r
         | None -> (
           match s.Ast.kind with
           | Ast.Do d ->

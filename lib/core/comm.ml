@@ -59,8 +59,10 @@ let _ = elements_of_other_dim
    Senders are emitted before receivers (sends are asynchronous), grouped
    by sender-receiver offset so the common shift patterns compile to one
    guarded statement each. *)
-let emit_section_comm_multi ~nprocs ~tag ~(owned : Iset.t array) ~dim ~rank
-    ~(parts : (string * Iset.t array * other_dim list) list) : Node.nstmt list =
+let emit_section_comm_multi ?(loc = Loc.none) ~nprocs ~tag
+    ~(owned : Iset.t array) ~dim ~rank
+    ~(parts : (string * Iset.t array * other_dim list) list) () :
+    Node.nstmt list =
   (* per-part transfer matrices *)
   let xfers =
     List.map
@@ -119,12 +121,12 @@ let emit_section_comm_multi ~nprocs ~tag ~(owned : Iset.t array) ~dim ~rank
         sends :=
           guarded
             (Some (Ast.Bin (Ast.Eq, myp, int_e q)))
-            [ Node.N_send { dest = int_e p; parts = msg_parts; tag } ]
+            [ Node.N_send { dest = int_e p; parts = msg_parts; tag; loc } ]
           @ !sends;
         recvs :=
           guarded
             (Some (Ast.Bin (Ast.Eq, myp, int_e p)))
-            [ Node.N_recv { src = int_e q; tag } ]
+            [ Node.N_recv { src = int_e q; tag; loc } ]
           @ !recvs
       end
     in
@@ -192,7 +194,7 @@ let emit_section_comm_multi ~nprocs ~tag ~(owned : Iset.t array) ~dim ~rank
             sends :=
               !sends
               @ guarded (Fit.guard_of_mask send_mask)
-                  [ Node.N_send { dest; parts = msg_parts; tag } ];
+                  [ Node.N_send { dest; parts = msg_parts; tag; loc } ];
             let recv_mask =
               Array.init nprocs (fun p ->
                   let q = p + delta in
@@ -204,7 +206,8 @@ let emit_section_comm_multi ~nprocs ~tag ~(owned : Iset.t array) ~dim ~rank
             in
             recvs :=
               !recvs
-              @ guarded (Fit.guard_of_mask recv_mask) [ Node.N_recv { src; tag } ]
+              @ guarded (Fit.guard_of_mask recv_mask)
+                  [ Node.N_recv { src; tag; loc } ]
           end
           else
             for q = 0 to nprocs - 1 do
@@ -221,10 +224,11 @@ let emit_section_comm_multi ~nprocs ~tag ~(owned : Iset.t array) ~dim ~rank
     !sends @ !recvs
   end
 
-let emit_section_comm ~nprocs ~tag ~array ~(owned : Iset.t array) ~dim ~rank
-    ~(need : Iset.t array) ~(other_dims : other_dim list) : Node.nstmt list =
-  emit_section_comm_multi ~nprocs ~tag ~owned ~dim ~rank
-    ~parts:[ (array, need, other_dims) ]
+let emit_section_comm ?(loc = Loc.none) ~nprocs ~tag ~array
+    ~(owned : Iset.t array) ~dim ~rank ~(need : Iset.t array)
+    ~(other_dims : other_dim list) () : Node.nstmt list =
+  emit_section_comm_multi ~loc ~nprocs ~tag ~owned ~dim ~rank
+    ~parts:[ (array, need, other_dims) ] ()
 
 (* Owner arithmetic for an index expression under a layout. *)
 let owner_expr ~nprocs (layout : Layout.t) (index : Ast.expr) : Ast.expr =
@@ -255,14 +259,15 @@ let owner_guard ~nprocs layout index =
 
 (* Broadcast of the section of [array] at distributed index [index]
    (other dimensions per [other_dims]) from its owner to everyone. *)
-let emit_bcast_section ~nprocs ~site ~array ~(layout : Layout.t) ~dim ~index
-    ~(other_dims : other_dim list) : Node.nstmt =
+let emit_bcast_section ?(loc = Loc.none) ~nprocs ~site ~array
+    ~(layout : Layout.t) ~dim ~index ~(other_dims : other_dim list) () :
+    Node.nstmt =
   let rank = Layout.rank layout in
   let sec = assemble_section ~rank ~dim (index, index, int_e 1) other_dims in
   Node.N_bcast
     { root = owner_expr ~nprocs layout index;
       payload = Node.P_section (array, sec);
-      site }
+      site; loc }
 
-let emit_bcast_scalar ~site ~root (name : string) : Node.nstmt =
-  Node.N_bcast { root; payload = Node.P_scalar name; site }
+let emit_bcast_scalar ?(loc = Loc.none) ~site ~root (name : string) : Node.nstmt =
+  Node.N_bcast { root; payload = Node.P_scalar name; site; loc }

@@ -23,9 +23,9 @@ val assemble_section :
 val guarded : Ast.expr option -> Node.nstmt list -> Node.nstmt list
 
 val emit_section_comm :
-  nprocs:int -> tag:int -> array:string -> owned:Iset.t array -> dim:int ->
-  rank:int -> need:Iset.t array -> other_dims:other_dim list ->
-  Node.nstmt list
+  ?loc:Loc.t -> nprocs:int -> tag:int -> array:string -> owned:Iset.t array ->
+  dim:int -> rank:int -> need:Iset.t array -> other_dims:other_dim list ->
+  unit -> Node.nstmt list
 (** Sends before receives (sends are asynchronous), grouped by
     sender-receiver offset so common shift patterns compile to one
     guarded statement each; exact per-processor fallback otherwise.
@@ -39,15 +39,15 @@ val owner_guard : nprocs:int -> Layout.t -> Ast.expr -> Ast.expr
 (** [my$p == owner_expr ...]. *)
 
 val emit_bcast_section :
-  nprocs:int -> site:int -> array:string -> layout:Layout.t -> dim:int ->
-  index:Ast.expr -> other_dims:other_dim list -> Node.nstmt
+  ?loc:Loc.t -> nprocs:int -> site:int -> array:string -> layout:Layout.t ->
+  dim:int -> index:Ast.expr -> other_dims:other_dim list -> unit -> Node.nstmt
 
-val emit_bcast_scalar : site:int -> root:Ast.expr -> string -> Node.nstmt
+val emit_bcast_scalar : ?loc:Loc.t -> site:int -> root:Ast.expr -> string -> Node.nstmt
 
 val emit_section_comm_multi :
-  nprocs:int -> tag:int -> owned:Iset.t array -> dim:int -> rank:int ->
-  parts:(string * Iset.t array * other_dim list) list ->
-  Node.nstmt list
+  ?loc:Loc.t -> nprocs:int -> tag:int -> owned:Iset.t array -> dim:int ->
+  rank:int -> parts:(string * Iset.t array * other_dim list) list ->
+  unit -> Node.nstmt list
 (** Like {!emit_section_comm} but several (array, need, other_dims)
     parts aggregate into one message per processor pair (paper Fig. 11
     aggregation). *)

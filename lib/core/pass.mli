@@ -28,6 +28,9 @@ type ctx = {
   mutable summaries : (string * Local_summary.t) list option;
       (** one local summary per (cloned) procedure, in ACG order *)
   mutable compiled : Codegen.compiled option;
+  mutable findings : Fd_verify.Finding.t list option;
+      (** static-verifier findings over the compiled program; computed
+          lazily by the [verify] pass and cached here *)
 }
 
 (** Result of a pass's invariant checker in a {!report}. *)

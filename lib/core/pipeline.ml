@@ -513,11 +513,76 @@ let codegen_pass =
             0 compiled.Codegen.program.Node.n_procs
         | None -> 0) }
 
+(* --- verify: the static SPMD communication verifier --------------------- *)
+
+(* Findings over the compiled node program plus the source-level lint,
+   computed on demand and cached in the context: the ordinary compile
+   stays cheap, while [--verify-passes] and [--dump-after verify] force
+   the analysis. *)
+let verify_findings (c : ctx) : Fd_verify.Finding.t list =
+  match c.findings with
+  | Some f -> f
+  | None ->
+    let f =
+      match c.compiled with
+      | None -> []
+      | Some compiled ->
+        let lint =
+          match c.checked with
+          | None -> []
+          | Some cp ->
+            let reaching =
+              Option.map
+                (fun rd ~uname ~sid array ->
+                  match Reaching_decomps.local_of rd uname with
+                  | lr ->
+                    let fact = Reaching_decomps.fact_before lr sid in
+                    let r = Reaching_decomps.get_reaching fact array in
+                    not (Decomp.reaching_equal r Decomp.reaching_bottom)
+                  | exception _ -> true)
+                c.rd
+            in
+            Fd_verify.Lint.run ?reaching cp
+        in
+        let vr =
+          Fd_verify.Verify.check_node ~nprocs:c.opts.Options.nprocs
+            compiled.Codegen.program
+        in
+        Fd_verify.Finding.sort (lint @ vr.Fd_verify.Verify.findings)
+    in
+    c.findings <- Some f;
+    f
+
+let verify_pass =
+  { p_name = "verify";
+    p_doc = "static send/recv matching, collective congruence and lint";
+    p_run = (fun _ -> ());
+    p_dump =
+      (fun c ->
+        match c.compiled with
+        | None -> None
+        | Some _ ->
+          Some
+            (Fd_support.Json.to_string
+               (Fd_verify.Finding.report_json (verify_findings c))));
+    p_verify =
+      (fun c ->
+        match c.compiled with
+        | None -> [ "no compiled program" ]
+        | Some _ ->
+          verify_findings c
+          |> List.filter (fun f ->
+                 f.Fd_verify.Finding.severity = Fd_verify.Finding.Error)
+          |> List.map (Fmt.str "%a" Fd_verify.Finding.pp));
+    p_size =
+      (fun c ->
+        match c.findings with Some f -> List.length f | None -> 0) }
+
 (* --- The pipeline ------------------------------------------------------- *)
 
 let passes =
   [ parse_pass; sema_pass; cloning_pass; acg_pass; reaching_pass;
-    side_effects_pass; local_summaries_pass; codegen_pass ]
+    side_effects_pass; local_summaries_pass; codegen_pass; verify_pass ]
 
 let pass_names = List.map (fun p -> p.p_name) passes
 
@@ -525,7 +590,8 @@ let find_pass name = List.find_opt (fun p -> String.equal p.p_name name) passes
 
 let empty_ctx opts file source =
   { opts; file; source; parsed = None; checked = None; clone_result = None;
-    acg = None; rd = None; effects = None; summaries = None; compiled = None }
+    acg = None; rd = None; effects = None; summaries = None; compiled = None;
+    findings = None }
 
 let of_source ?(opts = Options.default) ?file src = empty_ctx opts file (Some src)
 

@@ -5,6 +5,7 @@
    baseline strategy and the sound fallback the optimizing code
    generators use for statements outside their recognized patterns. *)
 
+open Fd_support
 open Fd_frontend
 open Fd_machine
 
@@ -40,8 +41,10 @@ let dist_reads ctx (e : Ast.expr) : (string * Ast.expr list) list =
 let elem_section (subs : Ast.expr list) : Node.section =
   List.map (fun s -> (s, s, int_e 1)) subs
 
-(* Compile one assignment with run-time resolution. *)
-let compile_assign ctx (lhs : Ast.expr) (rhs : Ast.expr) : Node.nstmt list =
+(* Compile one assignment with run-time resolution.  [loc] is the source
+   statement, stamped on every message the assignment expands into. *)
+let compile_assign ctx ~(loc : Loc.t) (lhs : Ast.expr) (rhs : Ast.expr) :
+    Node.nstmt list =
   let reads =
     dist_reads ctx rhs
     @ (match lhs with
@@ -67,7 +70,7 @@ let compile_assign ctx (lhs : Ast.expr) (rhs : Ast.expr) : Node.nstmt list =
                 then_ =
                   [ Node.N_send
                       { dest = Ast.Var o_lhs;
-                        parts = [ (rname, elem_section rsubs) ]; tag } ];
+                        parts = [ (rname, elem_section rsubs) ]; tag; loc } ];
                 else_ = [] };
             Node.N_if
               { cond =
@@ -75,7 +78,7 @@ let compile_assign ctx (lhs : Ast.expr) (rhs : Ast.expr) : Node.nstmt list =
                     ( Ast.And,
                       Ast.Bin (Ast.Eq, myp, Ast.Var o_lhs),
                       Ast.Bin (Ast.Ne, Ast.Var o_r, Ast.Var o_lhs) );
-                then_ = [ Node.N_recv { src = Ast.Var o_r; tag } ];
+                then_ = [ Node.N_recv { src = Ast.Var o_r; tag; loc } ];
                 else_ = [] } ])
         reads
     in
@@ -94,7 +97,7 @@ let compile_assign ctx (lhs : Ast.expr) (rhs : Ast.expr) : Node.nstmt list =
           Node.N_bcast
             { root = owner_of ctx rname rsubs;
               payload = Node.P_section (rname, elem_section rsubs);
-              site })
+              site; loc })
         reads
     in
     comms @ [ Node.N_assign (lhs, rhs) ]
@@ -103,8 +106,9 @@ let compile_assign ctx (lhs : Ast.expr) (rhs : Ast.expr) : Node.nstmt list =
    materialized as a physical remap; IF conditions with distributed reads
    get element broadcasts first; loops run their full bounds everywhere. *)
 let rec compile_stmt ctx (s : Ast.stmt) : Node.nstmt list =
+  let loc = s.Ast.loc in
   match s.Ast.kind with
-  | Ast.Assign (lhs, rhs) -> compile_assign ctx lhs rhs
+  | Ast.Assign (lhs, rhs) -> compile_assign ctx ~loc lhs rhs
   | Ast.Do { var; lo; hi; step; body } ->
     [ Node.N_do
         { var; lo; hi; step; body = List.concat_map (compile_stmt ctx) body } ]
@@ -116,7 +120,7 @@ let rec compile_stmt ctx (s : Ast.stmt) : Node.nstmt list =
           Node.N_bcast
             { root = owner_of ctx rname rsubs;
               payload = Node.P_section (rname, elem_section rsubs);
-              site })
+              site; loc })
         (dist_reads ctx cond)
     in
     pre
@@ -140,7 +144,7 @@ let rec compile_stmt ctx (s : Ast.stmt) : Node.nstmt list =
               Node.N_bcast
                 { root = owner_of ctx rname rsubs;
                   payload = Node.P_section (rname, elem_section rsubs);
-                  site })
+                  site; loc })
             (dist_reads ctx e))
         args
     in

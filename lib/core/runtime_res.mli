@@ -18,7 +18,7 @@ type ctx = {
   fresh_tmp : unit -> string;
 }
 
-val compile_assign : ctx -> Ast.expr -> Ast.expr -> Node.nstmt list
+val compile_assign : ctx -> loc:Fd_support.Loc.t -> Ast.expr -> Ast.expr -> Node.nstmt list
 
 val compile_stmt : ctx -> Ast.stmt -> Node.nstmt list
 (** Whole statement trees; IF conditions with distributed reads get

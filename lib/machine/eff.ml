@@ -3,6 +3,8 @@
    communication suspends it until the scheduler can satisfy the
    request. *)
 
+open Fd_support
+
 type coll_op =
   | Coll_bcast of {
       root : int;
@@ -19,12 +21,12 @@ type coll_op =
 type _ Effect.t +=
   | Tick : float -> unit Effect.t
   | Send : Message.t -> unit Effect.t
-  | Recv : (int * int) -> Message.t Effect.t  (* src, tag *)
-  | Collective : (int * coll_op) -> unit Effect.t  (* site, op *)
+  | Recv : (int * int * Loc.t) -> Message.t Effect.t  (* src, tag, source loc *)
+  | Collective : (int * coll_op * Loc.t) -> unit Effect.t  (* site, op, source loc *)
   | Output : string -> unit Effect.t
 
 let tick dt = if dt > 0.0 then Effect.perform (Tick dt)
 let send msg = Effect.perform (Send msg)
-let recv ~src ~tag = Effect.perform (Recv (src, tag))
-let collective ~site op = Effect.perform (Collective (site, op))
+let recv ~src ~tag ~loc = Effect.perform (Recv (src, tag, loc))
+let collective ~site ~loc op = Effect.perform (Collective (site, op, loc))
 let output line = Effect.perform (Output line)

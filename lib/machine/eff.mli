@@ -3,6 +3,8 @@
     communication suspends it until the scheduler can satisfy the
     request. *)
 
+open Fd_support
+
 type coll_op =
   | Coll_bcast of {
       root : int;
@@ -21,12 +23,12 @@ type coll_op =
 type _ Effect.t +=
   | Tick : float -> unit Effect.t
   | Send : Message.t -> unit Effect.t
-  | Recv : (int * int) -> Message.t Effect.t  (** src, tag *)
-  | Collective : (int * coll_op) -> unit Effect.t  (** site, op *)
+  | Recv : (int * int * Loc.t) -> Message.t Effect.t  (** src, tag, source loc *)
+  | Collective : (int * coll_op * Loc.t) -> unit Effect.t  (** site, op, source loc *)
   | Output : string -> unit Effect.t
 
 val tick : float -> unit
 val send : Message.t -> unit
-val recv : src:int -> tag:int -> Message.t
-val collective : site:int -> coll_op -> unit
+val recv : src:int -> tag:int -> loc:Loc.t -> Message.t
+val collective : site:int -> loc:Loc.t -> coll_op -> unit
 val output : string -> unit

@@ -258,7 +258,7 @@ let rec exec t (s : Node.nstmt) : unit =
     if Value.to_bool (eval t cond) then List.iter (exec t) then_
     else List.iter (exec t) else_
   | Node.N_call (name, args) -> call t name args
-  | Node.N_send { dest; parts; tag } ->
+  | Node.N_send { dest; parts; tag; _ } ->
     let d = Value.to_int (eval t dest) in
     let elems =
       List.concat_map
@@ -273,16 +273,16 @@ let rec exec t (s : Node.nstmt) : unit =
     (* seq 0 is a placeholder: the scheduler's network layer stamps the
        real per-(src, dest, tag) sequence number *)
     Eff.send { Message.src = t.proc; dest = d; tag; seq = 0; elems; bytes }
-  | Node.N_recv { src; tag } ->
+  | Node.N_recv { src; tag; loc } ->
     let s = Value.to_int (eval t src) in
     flush_ticks t;
-    let msg = Eff.recv ~src:s ~tag in
+    let msg = Eff.recv ~src:s ~tag ~loc in
     List.iter
       (fun (array, idx, v) ->
         cost_mem t;
         Storage.receive (array_obj t array) idx v)
       msg.Message.elems
-  | Node.N_bcast { root; payload; site } -> (
+  | Node.N_bcast { root; payload; site; loc } -> (
     let r = Value.to_int (eval t root) in
     flush_ticks t;
     match payload with
@@ -293,7 +293,8 @@ let rec exec t (s : Node.nstmt) : unit =
       let write elems =
         List.iter (fun (idx, v) -> Storage.receive obj idx v) elems
       in
-      Eff.collective ~site (Eff.Coll_bcast { root = r; label = array; read; write })
+      Eff.collective ~site ~loc
+        (Eff.Coll_bcast { root = r; label = array; read; write })
     | Node.P_scalar name ->
       let cell = scalar_cell t name in
       let read () = [ ([||], !cell) ] in
@@ -301,11 +302,12 @@ let rec exec t (s : Node.nstmt) : unit =
         | [ (_, v) ] -> cell := v
         | _ -> Diag.error "scalar broadcast payload mismatch"
       in
-      Eff.collective ~site (Eff.Coll_bcast { root = r; label = name; read; write }))
-  | Node.N_remap { array; new_layout; move; site } ->
+      Eff.collective ~site ~loc
+        (Eff.Coll_bcast { root = r; label = name; read; write }))
+  | Node.N_remap { array; new_layout; move; site; loc } ->
     let obj = array_obj t array in
     flush_ticks t;
-    Eff.collective ~site (Eff.Coll_remap { obj; new_layout; move })
+    Eff.collective ~site ~loc (Eff.Coll_remap { obj; new_layout; move })
   | Node.N_print args ->
     let line =
       String.concat " " (List.map (fun e -> Value.to_string (eval t e)) args)

@@ -7,6 +7,7 @@
    index expressions are in *global* index space; each array carries a
    {!Layout.t} mapping indices to owners (see DESIGN.md section 6). *)
 
+open Fd_support
 open Fd_frontend
 
 (* Per-dimension (lo, hi, step) in global index space; expressions may
@@ -23,10 +24,12 @@ type nstmt =
               body : nstmt list }
   | N_if of { cond : Ast.expr; then_ : nstmt list; else_ : nstmt list }
   | N_call of string * Ast.expr list
-  | N_send of { dest : Ast.expr; parts : (string * section) list; tag : int }
-  | N_recv of { src : Ast.expr; tag : int }
-  | N_bcast of { root : Ast.expr; payload : payload; site : int }
-  | N_remap of { array : string; new_layout : Layout.t; move : bool; site : int }
+  | N_send of { dest : Ast.expr; parts : (string * section) list; tag : int;
+                loc : Loc.t }
+  | N_recv of { src : Ast.expr; tag : int; loc : Loc.t }
+  | N_bcast of { root : Ast.expr; payload : payload; site : int; loc : Loc.t }
+  | N_remap of { array : string; new_layout : Layout.t; move : bool; site : int;
+                 loc : Loc.t }
   | N_print of Ast.expr list
   | N_return
 
@@ -98,16 +101,16 @@ let rec pp_nstmt indent ppf (s : nstmt) =
     Fmt.pf ppf "%scall %s(%a)@." pad name
       Fmt.(list ~sep:(any ", ") Ast_printer.pp_expr)
       args
-  | N_send { dest; parts; tag } ->
+  | N_send { dest; parts; tag; _ } ->
     let pp_part ppf (array, section) =
       Fmt.pf ppf "%s(%a)" array pp_section section
     in
     Fmt.pf ppf "%ssend %a to %a  {tag %d}@." pad
       Fmt.(list ~sep:(any ", ") pp_part)
       parts Ast_printer.pp_expr dest tag
-  | N_recv { src; tag } ->
+  | N_recv { src; tag; _ } ->
     Fmt.pf ppf "%srecv from %a  {tag %d}@." pad Ast_printer.pp_expr src tag
-  | N_bcast { root; payload; site } -> (
+  | N_bcast { root; payload; site; _ } -> (
     match payload with
     | P_section (a, s) ->
       Fmt.pf ppf "%sbroadcast %s(%a) from %a  {site %d}@." pad a pp_section s
@@ -115,7 +118,7 @@ let rec pp_nstmt indent ppf (s : nstmt) =
     | P_scalar v ->
       Fmt.pf ppf "%sbroadcast %s from %a  {site %d}@." pad v Ast_printer.pp_expr
         root site)
-  | N_remap { array; new_layout; move; site } ->
+  | N_remap { array; new_layout; move; site; _ } ->
     Fmt.pf ppf "%sremap %s to %a%s  {site %d}@." pad array Layout.pp new_layout
       (if move then "" else " (mark only)")
       site
@@ -175,17 +178,18 @@ let rec map_exprs (f : Ast.expr -> Ast.expr) (s : nstmt) : nstmt =
     N_if { cond = f cond; then_ = List.map (map_exprs f) then_;
            else_ = List.map (map_exprs f) else_ }
   | N_call (name, args) -> N_call (name, List.map f args)
-  | N_send { dest; parts; tag } ->
+  | N_send { dest; parts; tag; loc } ->
     N_send
-      { dest = f dest; parts = List.map (fun (a, sec) -> (a, fsec sec)) parts; tag }
+      { dest = f dest; parts = List.map (fun (a, sec) -> (a, fsec sec)) parts;
+        tag; loc }
   | N_recv _ as r -> r
-  | N_bcast { root; payload; site } ->
+  | N_bcast { root; payload; site; loc } ->
     let payload =
       match payload with
       | P_section (a, sec) -> P_section (a, fsec sec)
       | P_scalar _ as p -> p
     in
-    N_bcast { root = f root; payload; site }
+    N_bcast { root = f root; payload; site; loc }
   | N_remap _ as r -> r
   | N_print args -> N_print (List.map f args)
   | N_return -> N_return

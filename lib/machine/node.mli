@@ -7,6 +7,7 @@
     index expressions are in *global* index space; each array carries a
     {!Layout.t} mapping indices to owners (DESIGN.md section 6). *)
 
+open Fd_support
 open Fd_frontend
 
 type section = (Ast.expr * Ast.expr * Ast.expr) list
@@ -23,13 +24,16 @@ type nstmt =
               body : nstmt list }
   | N_if of { cond : Ast.expr; then_ : nstmt list; else_ : nstmt list }
   | N_call of string * Ast.expr list
-  | N_send of { dest : Ast.expr; parts : (string * section) list; tag : int }
-      (** one message; [parts] may aggregate sections of several arrays *)
-  | N_recv of { src : Ast.expr; tag : int }
+  | N_send of { dest : Ast.expr; parts : (string * section) list; tag : int;
+                loc : Loc.t }
+      (** one message; [parts] may aggregate sections of several arrays;
+          [loc] is the Fortran D source statement the message implements *)
+  | N_recv of { src : Ast.expr; tag : int; loc : Loc.t }
       (** the message itself carries the section to store *)
-  | N_bcast of { root : Ast.expr; payload : payload; site : int }
+  | N_bcast of { root : Ast.expr; payload : payload; site : int; loc : Loc.t }
       (** collective: all processors must reach the same site *)
-  | N_remap of { array : string; new_layout : Layout.t; move : bool; site : int }
+  | N_remap of { array : string; new_layout : Layout.t; move : bool; site : int;
+                 loc : Loc.t }
       (** collective redistribution; [move = false] marks only (the
           array-kill optimization) *)
   | N_print of Ast.expr list

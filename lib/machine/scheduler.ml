@@ -25,8 +25,8 @@ open Fd_support
 open Effect.Deep
 
 type blocked_on =
-  | On_recv of { src : int; tag : int }
-  | On_collective of { site : int; label : string }
+  | On_recv of { src : int; tag : int; loc : Loc.t }
+  | On_collective of { site : int; label : string; loc : Loc.t }
 
 type waiter = { w_proc : int; w_on : blocked_on; w_clock : float }
 
@@ -48,9 +48,14 @@ type error =
 
 exception Sim_error of error
 
+let pp_loc_suffix ppf (loc : Loc.t) =
+  if loc <> Loc.none then Fmt.pf ppf " [%a]" Loc.pp loc
+
 let pp_blocked_on ppf = function
-  | On_recv { src; tag } -> Fmt.pf ppf "recv from p%d tag %d" src tag
-  | On_collective { site; label } -> Fmt.pf ppf "collective site %d (%s)" site label
+  | On_recv { src; tag; loc } ->
+    Fmt.pf ppf "recv from p%d tag %d%a" src tag pp_loc_suffix loc
+  | On_collective { site; label; loc } ->
+    Fmt.pf ppf "collective site %d (%s)%a" site label pp_loc_suffix loc
 
 let pp_waiter ppf w =
   Fmt.pf ppf "p%d blocked on %a at t=%.1fus" w.w_proc pp_blocked_on w.w_on
@@ -89,8 +94,10 @@ let error_to_string = function
 
 type outcome =
   | O_done of Interp.frame
-  | O_blocked_recv of { src : int; tag : int; k : (Message.t, outcome) continuation }
-  | O_blocked_coll of { site : int; op : Eff.coll_op; k : (unit, outcome) continuation }
+  | O_blocked_recv of { src : int; tag : int; loc : Loc.t;
+                        k : (Message.t, outcome) continuation }
+  | O_blocked_coll of { site : int; op : Eff.coll_op; loc : Loc.t;
+                        k : (unit, outcome) continuation }
 
 (* Per-(src, dest, tag) channel: the sender side stamps [send_seq]; the
    receiver side delivers strictly in seq order from [pending], which
@@ -106,9 +113,11 @@ type t = {
   config : Config.t;
   stats : Stats.t;
   channels : (int * int * int, chan) Hashtbl.t;  (* (src, dest, tag) *)
-  parked : (int, int * int * (Message.t, outcome) continuation) Hashtbl.t;
-  (* blocked receivers: proc -> (src, tag, continuation) *)
-  colls : (int, (int * Eff.coll_op * (unit, outcome) continuation) list ref) Hashtbl.t;
+  parked : (int, int * int * Loc.t * (Message.t, outcome) continuation) Hashtbl.t;
+  (* blocked receivers: proc -> (src, tag, source loc, continuation) *)
+  colls :
+    (int, (int * Eff.coll_op * Loc.t * (unit, outcome) continuation) list ref)
+      Hashtbl.t;
   runq : (int * (unit -> outcome)) Queue.t;
   final_frames : Interp.frame option array;
   mutable lost : lost_msg list;  (* permanently undeliverable, reversed *)
@@ -168,14 +177,14 @@ let accept_recv t p ~src ~tag (msg, arrival) =
     (Stats.Ev_recv { at = t.stats.Stats.clocks.(p); src; dest = p; tag; waited });
   msg
 
-let resume_recv t p src tag k : unit -> outcome =
+let resume_recv t p src tag loc k : unit -> outcome =
   fun () ->
     let ch = channel t (src, p, tag) in
     match take_deliverable ch with
     | Some delivery -> continue k (accept_recv t p ~src ~tag delivery)
     | None ->
       (* woken spuriously; repark *)
-      O_blocked_recv { src; tag; k }
+      O_blocked_recv { src; tag; loc; k }
 
 (* Insert an arrived copy into the reassembly buffer, dropping
    duplicates by sequence number; wakes a parked receiver when the copy
@@ -194,9 +203,9 @@ let insert_arrival t (msg : Message.t) arrival =
     Hashtbl.replace ch.pending msg.Message.seq (msg, arrival);
     if msg.Message.seq = ch.deliver_seq then
       match Hashtbl.find_opt t.parked dest with
-      | Some (src', tag', krecv) when src' = src && tag' = tag ->
+      | Some (src', tag', loc', krecv) when src' = src && tag' = tag ->
         Hashtbl.remove t.parked dest;
-        Queue.add (dest, resume_recv t dest src' tag' krecv) t.runq
+        Queue.add (dest, resume_recv t dest src' tag' loc' krecv) t.runq
       | _ -> ()
   end
 
@@ -283,15 +292,17 @@ let run_proc t (p : int) (f : unit -> Interp.frame) : outcome =
               (fun (k : (a, outcome) continuation) ->
                 transmit t p msg;
                 continue k ())
-          | Eff.Recv (src, tag) ->
+          | Eff.Recv (src, tag, loc) ->
             Some
               (fun (k : (a, outcome) continuation) ->
                 let ch = channel t (src, p, tag) in
                 match take_deliverable ch with
                 | Some delivery -> continue k (accept_recv t p ~src ~tag delivery)
-                | None -> O_blocked_recv { src; tag; k })
-          | Eff.Collective (site, op) ->
-            Some (fun (k : (a, outcome) continuation) -> O_blocked_coll { site; op; k })
+                | None -> O_blocked_recv { src; tag; loc; k })
+          | Eff.Collective (site, op, loc) ->
+            Some
+              (fun (k : (a, outcome) continuation) ->
+                O_blocked_coll { site; op; loc; k })
           | Eff.Output line ->
             Some
               (fun (k : (a, outcome) continuation) ->
@@ -303,12 +314,14 @@ let run_proc t (p : int) (f : unit -> Interp.frame) : outcome =
 
 let word_bytes t = t.config.Config.word_bytes
 
-let perform_bcast t (parts : (int * Eff.coll_op * (unit, outcome) continuation) list) =
+let perform_bcast t
+    (parts : (int * Eff.coll_op * Loc.t * (unit, outcome) continuation) list) =
   let root, elems =
     match
       List.find_map
         (function
-          | p, Eff.Coll_bcast { root; read; _ }, _ when root = p -> Some (p, read ())
+          | p, Eff.Coll_bcast { root; read; _ }, _, _ when root = p ->
+            Some (p, read ())
           | _ -> None)
         parts
     with
@@ -318,13 +331,15 @@ let perform_bcast t (parts : (int * Eff.coll_op * (unit, outcome) continuation) 
   let bytes = List.length elems * word_bytes t in
   let cost = Config.bcast_cost t.config bytes in
   let tmax =
-    List.fold_left (fun acc (p, _, _) -> Float.max acc t.stats.Stats.clocks.(p)) 0.0 parts
+    List.fold_left
+      (fun acc (p, _, _, _) -> Float.max acc t.stats.Stats.clocks.(p))
+      0.0 parts
   in
   t.stats.Stats.bcasts <- t.stats.Stats.bcasts + 1;
   t.stats.Stats.bcast_bytes <- t.stats.Stats.bcast_bytes + bytes;
   record t (Stats.Ev_bcast { at = tmax +. cost; root; bytes; site = 0 });
   List.iter
-    (fun (p, op, _) ->
+    (fun (p, op, _, _) ->
       set_clock t p (tmax +. cost);
       match op with
       | Eff.Coll_bcast { write; _ } -> if p <> root then write elems
@@ -332,12 +347,13 @@ let perform_bcast t (parts : (int * Eff.coll_op * (unit, outcome) continuation) 
         raise (Sim_error (Runtime_error "mixed collective at one site")))
     parts
 
-let perform_remap t (parts : (int * Eff.coll_op * (unit, outcome) continuation) list) =
+let perform_remap t
+    (parts : (int * Eff.coll_op * Loc.t * (unit, outcome) continuation) list) =
   let nprocs = t.config.Config.nprocs in
   let objs = Array.make nprocs None in
   let new_layout = ref None and move = ref true in
   List.iter
-    (fun (p, op, _) ->
+    (fun (p, op, _, _) ->
       match op with
       | Eff.Coll_remap { obj; new_layout = nl; move = mv } ->
         objs.(p) <- Some obj;
@@ -410,7 +426,9 @@ let perform_remap t (parts : (int * Eff.coll_op * (unit, outcome) continuation) 
     !moves;
   (* time accounting *)
   let tmax =
-    List.fold_left (fun acc (p, _, _) -> Float.max acc t.stats.Stats.clocks.(p)) 0.0 parts
+    List.fold_left
+      (fun acc (p, _, _, _) -> Float.max acc t.stats.Stats.clocks.(p))
+      0.0 parts
   in
   let npairs = Array.make nprocs 0 in
   Hashtbl.iter
@@ -429,7 +447,7 @@ let perform_remap t (parts : (int * Eff.coll_op * (unit, outcome) continuation) 
        { at = tmax; array = obj0.Storage.name; moved_bytes = total_bytes;
          mark_only = not !move });
   List.iter
-    (fun (p, _, _) ->
+    (fun (p, _, _, _) ->
       let cost =
         if !move then
           (float_of_int npairs.(p) *. t.config.Config.alpha)
@@ -450,10 +468,12 @@ let perform_collective t site =
     let parts = List.rev !parts_ref in
     Hashtbl.remove t.colls site;
     (match parts with
-    | (_, Eff.Coll_bcast _, _) :: _ -> perform_bcast t parts
-    | (_, Eff.Coll_remap _, _) :: _ -> perform_remap t parts
+    | (_, Eff.Coll_bcast _, _, _) :: _ -> perform_bcast t parts
+    | (_, Eff.Coll_remap _, _, _) :: _ -> perform_remap t parts
     | [] -> ());
-    List.iter (fun (p, _, k) -> Queue.add (p, fun () -> continue k ()) t.runq) parts
+    List.iter
+      (fun (p, _, _, k) -> Queue.add (p, fun () -> continue k ()) t.runq)
+      parts
 
 (* --- Failure diagnosis ------------------------------------------------- *)
 
@@ -466,27 +486,28 @@ let wait_for_graph t : wait_for =
   let succs = Array.make nprocs [] in
   let blocked = Array.make nprocs false in
   Hashtbl.iter
-    (fun p (src, tag, _) ->
+    (fun p (src, tag, loc, _) ->
       blocked.(p) <- true;
       succs.(p) <- [ src ];
       waiting :=
-        { w_proc = p; w_on = On_recv { src; tag };
+        { w_proc = p; w_on = On_recv { src; tag; loc };
           w_clock = t.stats.Stats.clocks.(p) }
         :: !waiting)
     t.parked;
   Hashtbl.iter
     (fun site members ->
-      let present = List.map (fun (p, _, _) -> p) !members in
+      let present = List.map (fun (p, _, _, _) -> p) !members in
       let absent =
         List.filter (fun q -> not (List.mem q present))
           (List.init nprocs (fun q -> q))
       in
       List.iter
-        (fun (p, op, _) ->
+        (fun (p, op, loc, _) ->
           blocked.(p) <- true;
           succs.(p) <- absent;
           waiting :=
-            { w_proc = p; w_on = On_collective { site; label = coll_label op };
+            { w_proc = p;
+              w_on = On_collective { site; label = coll_label op; loc };
               w_clock = t.stats.Stats.clocks.(p) }
             :: !waiting)
         !members)
@@ -541,12 +562,12 @@ let run (config : Config.t) (prog : Node.program) : Stats.t * Interp.frame array
        | O_done frame ->
          t.final_frames.(p) <- Some frame;
          incr finished
-       | O_blocked_recv { src; tag; k } ->
+       | O_blocked_recv { src; tag; loc; k } ->
          let ch = channel t (src, p, tag) in
          if Hashtbl.mem ch.pending ch.deliver_seq then
-           Queue.add (p, resume_recv t p src tag k) t.runq
-         else Hashtbl.replace t.parked p (src, tag, k)
-       | O_blocked_coll { site; op; k } ->
+           Queue.add (p, resume_recv t p src tag loc k) t.runq
+         else Hashtbl.replace t.parked p (src, tag, loc, k)
+       | O_blocked_coll { site; op; loc; k } ->
          let members =
            match Hashtbl.find_opt t.colls site with
            | Some r -> r
@@ -555,7 +576,7 @@ let run (config : Config.t) (prog : Node.program) : Stats.t * Interp.frame array
              Hashtbl.replace t.colls site r;
              r
          in
-         members := (p, op, k) :: !members;
+         members := (p, op, loc, k) :: !members;
          if List.length !members = nprocs then perform_collective t site
      done
    with Storage.Invalid_read { array; index; proc } ->

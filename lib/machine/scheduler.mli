@@ -18,9 +18,13 @@
     with a structured {!Deadlock} carrying the wait-for graph — never an
     infinite loop. *)
 
+open Fd_support
+
 type blocked_on =
-  | On_recv of { src : int; tag : int }
-  | On_collective of { site : int; label : string }
+  | On_recv of { src : int; tag : int; loc : Loc.t }
+      (** [loc] is the Fortran D source statement whose communication the
+          processor is blocked on ({!Loc.none} when synthesized) *)
+  | On_collective of { site : int; label : string; loc : Loc.t }
 
 type waiter = { w_proc : int; w_on : blocked_on; w_clock : float }
 (** One blocked processor: what it waits on and its virtual time. *)

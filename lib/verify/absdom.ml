@@ -1,0 +1,175 @@
+(* The verifier's value domain: one abstract value summarizing what a
+   scalar holds on ALL processors of the ensemble at once.
+
+   Node programs are compiled for a concrete P (Node.n_nprocs bakes it
+   in, and tab$ tables are P-specific), so instead of a symbolic my$p
+   the domain tracks a vector of per-processor values:
+
+   - [Uni v]: every processor holds [v] (possibly the unknown [Punk] —
+     "same on all processors, value unknown").  This distinction is what
+     lets the analysis prove collective congruence through
+     data-dependent but processor-uniform branches.
+   - [Div vs]: processors disagree; [vs.(p)] is processor p's value.
+
+   Array element reads abstract to [Uni Punk]: distributed data is
+   assumed processor-consistent (the "uniform data" assumption, see
+   DESIGN.md 6c), which is what makes branches like dgefa's pivot test
+   uniform rather than spuriously divergent. *)
+
+type pv = Pint of int | Preal of float | Pbool of bool | Punk
+
+type t = Uni of pv | Div of pv array
+
+let unknown = Uni Punk
+
+(* Provable equality: two unknowns are NOT equal — [Div] of [Punk]s must
+   stay divergent ("each processor holds its own unknown"), which is
+   exactly the distinction the congruence analysis lives on.  [Uni Punk]
+   can only be produced by operations whose inputs were all uniform. *)
+let pv_equal a b =
+  match (a, b) with
+  | Pint x, Pint y -> x = y
+  | Preal x, Preal y -> x = y
+  | Pbool x, Pbool y -> x = y
+  | _ -> false
+
+(* Collapse an all-equal vector back to Uni so uniformity survives
+   pointwise operations on divergent inputs (e.g. my$p - my$p). *)
+let normalize (vs : pv array) : t =
+  let v0 = vs.(0) in
+  if Array.for_all (fun v -> pv_equal v v0) vs then Uni v0 else Div vs
+
+let spread n = function Uni v -> Array.make n v | Div vs -> vs
+
+let at v p = match v with Uni x -> x | Div vs -> vs.(p)
+
+let map1 n f = function
+  | Uni v -> Uni (f v)
+  | Div vs -> normalize (Array.init n (fun p -> f vs.(p)))
+
+let map2 n f a b =
+  match (a, b) with
+  | Uni x, Uni y -> Uni (f x y)
+  | _ ->
+    let xs = spread n a and ys = spread n b in
+    normalize (Array.init n (fun p -> f xs.(p) ys.(p)))
+
+(* Per-processor known integer, None where unknown. *)
+let int_at v p =
+  match at v p with Pint i -> Some i | _ -> None
+
+let uniform_int = function Uni (Pint i) -> Some i | _ -> None
+
+let is_uniform = function Uni _ -> true | Div _ -> false
+
+(* --- pointwise arithmetic, mirroring Value.ml ------------------------- *)
+
+let to_f = function
+  | Pint i -> Some (float_of_int i)
+  | Preal f -> Some f
+  | _ -> None
+
+let num2 fi fr a b =
+  match (a, b) with
+  | Pint x, Pint y -> fi x y
+  | _ -> (
+    match (to_f a, to_f b) with
+    | Some x, Some y -> fr x y
+    | _ -> Punk)
+
+let add = num2 (fun x y -> Pint (x + y)) (fun x y -> Preal (x +. y))
+let sub = num2 (fun x y -> Pint (x - y)) (fun x y -> Preal (x -. y))
+let mul = num2 (fun x y -> Pint (x * y)) (fun x y -> Preal (x *. y))
+
+let div =
+  num2
+    (fun x y -> if y = 0 then Punk else Pint (x / y))
+    (fun x y -> Preal (x /. y))
+
+let pow =
+  num2
+    (fun x y -> if y < 0 then Punk else Pint (int_of_float (float_of_int x ** float_of_int y)))
+    (fun x y -> Preal (x ** y))
+
+let cmp_to op a b =
+  match (a, b) with
+  | Pint x, Pint y -> Pbool (op (compare x y) 0)
+  | _ -> (
+    match (to_f a, to_f b) with
+    | Some x, Some y -> Pbool (op (compare x y) 0)
+    | _ -> Punk)
+
+let eq a b =
+  match (a, b) with
+  | Pbool x, Pbool y -> Pbool (x = y)
+  | Punk, _ | _, Punk -> Punk
+  | _ -> cmp_to ( = ) a b
+
+(* Kleene three-valued logic: unknown only where the outcome genuinely
+   depends on the unknown operand. *)
+let and_ a b =
+  match (a, b) with
+  | Pbool false, _ | _, Pbool false -> Pbool false
+  | Pbool true, Pbool true -> Pbool true
+  | _ -> Punk
+
+let or_ a b =
+  match (a, b) with
+  | Pbool true, _ | _, Pbool true -> Pbool true
+  | Pbool false, Pbool false -> Pbool false
+  | _ -> Punk
+
+let not_ = function Pbool b -> Pbool (not b) | _ -> Punk
+
+let neg = function
+  | Pint i -> Pint (-i)
+  | Preal f -> Preal (-.f)
+  | _ -> Punk
+
+let modulo =
+  num2
+    (fun x y -> if y = 0 then Punk else Pint (x mod y))
+    (fun x y -> Preal (Float.rem x y))
+
+let abs_ = function
+  | Pint i -> Pint (abs i)
+  | Preal f -> Preal (Float.abs f)
+  | _ -> Punk
+
+let to_int_pv = function
+  | Pint i -> Pint i
+  | Preal f -> Pint (int_of_float f)
+  | _ -> Punk
+
+let to_real_pv = function
+  | Pint i -> Preal (float_of_int i)
+  | Preal f -> Preal f
+  | _ -> Punk
+
+let max2 a b = match cmp_to ( >= ) a b with Pbool true -> a | Pbool false -> b | _ -> Punk
+let min2 a b = match cmp_to ( <= ) a b with Pbool true -> a | Pbool false -> b | _ -> Punk
+
+(* Join of two control-flow branches: keep only what both agree on. *)
+let pv_join a b = if pv_equal a b then a else Punk
+
+let join n a b = map2 n pv_join a b
+
+(* [blend n ~act old upd]: processors in [act] take [upd], the rest keep
+   [old] — the masked assignment under a partial active set. *)
+let blend n ~(act : bool array) old upd =
+  match (old, upd) with
+  | _ when Array.for_all Fun.id act -> upd
+  | Uni x, Uni y when pv_equal x y -> old
+  | _ ->
+    let os = spread n old and us = spread n upd in
+    normalize (Array.init n (fun p -> if act.(p) then us.(p) else os.(p)))
+
+let pp_pv ppf = function
+  | Pint i -> Fmt.int ppf i
+  | Preal f -> Fmt.float ppf f
+  | Pbool b -> Fmt.bool ppf b
+  | Punk -> Fmt.string ppf "?"
+
+let pp ppf = function
+  | Uni v -> pp_pv ppf v
+  | Div vs -> Fmt.pf ppf "[%a]" Fmt.(array ~sep:(any " ") pp_pv) vs

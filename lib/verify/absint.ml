@@ -1,0 +1,1026 @@
+(* Abstract interpreter over SPMD node programs: a single vectorized
+   walk simulates all P processors at once over one shared environment
+   (P per-processor values in each scalar cell — Absdom.t), erasing
+   computation and keeping communication.
+
+   The walk produces:
+   - a stream of Skeleton.events (sends, recvs, collectives) in
+     per-processor program order, replayed by Skeleton.run;
+   - walk-time findings: collectives reached by only part of the
+     ensemble (the static form of the scheduler's collective-mismatch
+     deadlock), out-of-bounds or malformed sections, empty sends;
+   - the active-processor mask threading: a decidable branch on my$p
+     splits the mask, RETURN clears it, collectives check it.
+
+   Control flow the domain cannot decide is walked once as an
+   *unverifiable region*: scalar updates become weak (joins), the
+   region's communication is matched in isolation (degraded to Info)
+   and its tags are excluded from hard deadlock verdicts.  A branch
+   that is unknown-but-uniform stays congruence-safe; only
+   processor-divergent unknowns demote collective verification. *)
+
+open Fd_support
+open Fd_frontend
+open Fd_machine
+
+exception Truncated
+exception Stuck of string
+
+type aobj = {
+  a_name : string;
+  a_bounds : (int * int) list;
+  mutable a_layout : Layout.t;
+  mutable a_owned : Iset.t array;  (* per processor, distributed dim *)
+}
+
+type binding = Bscalar of Absdom.t ref | Barray of aobj
+
+type frame = (string, binding) Hashtbl.t
+
+type w = {
+  n : int;
+  prog : Node.program;
+  globals : frame;
+  mutable frames : frame list;
+  mutable fuel : int;
+  mutable uncertain : int;  (* depth of unverifiable regions *)
+  mutable buf : Skeleton.event list ref;  (* current emission buffer *)
+  mutable next_id : int;  (* collective emission ids *)
+  mutable findings : Finding.t list;
+  fuzzy : (int, unit) Hashtbl.t;  (* tags whose matching is unverifiable *)
+  send_stats : (Loc.t * int, int ref * int ref) Hashtbl.t;
+      (* per (site, tag): nonempty, empty *)
+  comm_memo : (string, bool) Hashtbl.t;
+  finding_seen : (string, unit) Hashtbl.t;
+}
+
+type result = {
+  events : Skeleton.event list;
+  findings : Finding.t list;
+  fuzzy_tags : (int, unit) Hashtbl.t;
+  complete : bool;
+      (* the event stream covers the whole program, so the skeleton
+         replay's deadlock verdicts are meaningful *)
+  visits : int;  (* statements visited, for the bench *)
+}
+
+(* One finding per (kind, site) — the walk revisits statements (loop
+   unrolling), the report should not. *)
+let addf w ?(loc = Loc.none) ?proc ?tag ?site sev kind msg =
+  let key = Fmt.str "%s|%s|%d|%d" kind loc.Loc.file loc.Loc.line
+      (match site with Some s -> s | None -> -1)
+  in
+  if not (Hashtbl.mem w.finding_seen key) then begin
+    Hashtbl.replace w.finding_seen key ();
+    w.findings <-
+      Finding.make ~loc ?proc ?tag ?site sev kind msg :: w.findings
+  end
+
+let emit w ev = w.buf := ev :: !(w.buf)
+
+let burn w =
+  w.fuel <- w.fuel - 1;
+  if w.fuel <= 0 then raise Truncated
+
+(* --- environment (mirrors Interp's frames) --------------------------- *)
+
+let current_frame w =
+  match w.frames with
+  | f :: _ -> f
+  | [] -> raise (Stuck "no active frame")
+
+let implicit_zero name =
+  if String.length name > 0 && name.[0] >= 'i' && name.[0] <= 'n' then
+    Absdom.Uni (Absdom.Pint 0)
+  else Absdom.Uni (Absdom.Preal 0.0)
+
+let zero_of = function
+  | Ast.Integer -> Absdom.Uni (Absdom.Pint 0)
+  | Ast.Real -> Absdom.Uni (Absdom.Preal 0.0)
+  | Ast.Logical -> Absdom.Uni (Absdom.Pbool false)
+
+let lookup w name : binding =
+  let frame = current_frame w in
+  match Hashtbl.find_opt frame name with
+  | Some b -> b
+  | None -> (
+    match Hashtbl.find_opt w.globals name with
+    | Some b -> b
+    | None ->
+      let b = Bscalar (ref (implicit_zero name)) in
+      Hashtbl.replace frame name b;
+      b)
+
+let scalar_cell w name =
+  match lookup w name with
+  | Bscalar r -> r
+  | Barray _ -> raise (Stuck (Fmt.str "array %s used as a scalar" name))
+
+let array_obj w name =
+  match lookup w name with
+  | Barray o -> o
+  | Bscalar _ -> raise (Stuck (Fmt.str "scalar %s used as an array" name))
+
+let alloc_aobj ~nprocs (ad : Node.array_decl) =
+  {
+    a_name = ad.Node.ad_name;
+    a_bounds = ad.Node.ad_layout.Layout.bounds;
+    a_layout = ad.Node.ad_layout;
+    a_owned = Layout.owned ad.Node.ad_layout ~nprocs;
+  }
+
+(* --- expressions ------------------------------------------------------ *)
+
+let rec eval w (e : Ast.expr) : Absdom.t =
+  let n = w.n in
+  match e with
+  | Ast.Int_const i -> Absdom.Uni (Absdom.Pint i)
+  | Ast.Real_const f -> Absdom.Uni (Absdom.Preal f)
+  | Ast.Logical_const b -> Absdom.Uni (Absdom.Pbool b)
+  | Ast.Var v -> (
+    match lookup w v with
+    | Bscalar r -> !r
+    | Barray _ -> raise (Stuck (Fmt.str "whole array %s used as a value" v)))
+  | Ast.Ref (name, _) ->
+    (* the uniform-data assumption: distributed values are unknown but
+       processor-consistent (DESIGN.md 6c) *)
+    ignore (array_obj w name);
+    Absdom.unknown
+  | Ast.Bin (op, a, b) -> (
+    let va = eval w a and vb = eval w b in
+    let m2 = Absdom.map2 n in
+    match op with
+    | Ast.Add -> m2 Absdom.add va vb
+    | Ast.Sub -> m2 Absdom.sub va vb
+    | Ast.Mul -> m2 Absdom.mul va vb
+    | Ast.Div -> m2 Absdom.div va vb
+    | Ast.Pow -> m2 Absdom.pow va vb
+    | Ast.Eq -> m2 Absdom.eq va vb
+    | Ast.Ne -> m2 (fun x y -> Absdom.not_ (Absdom.eq x y)) va vb
+    | Ast.Lt -> m2 (Absdom.cmp_to ( < )) va vb
+    | Ast.Le -> m2 (Absdom.cmp_to ( <= )) va vb
+    | Ast.Gt -> m2 (Absdom.cmp_to ( > )) va vb
+    | Ast.Ge -> m2 (Absdom.cmp_to ( >= )) va vb
+    | Ast.And -> m2 Absdom.and_ va vb
+    | Ast.Or -> m2 Absdom.or_ va vb)
+  | Ast.Un (Ast.Neg, a) -> Absdom.map1 n Absdom.neg (eval w a)
+  | Ast.Un (Ast.Not, a) -> Absdom.map1 n Absdom.not_ (eval w a)
+  | Ast.Funcall (name, args) -> intrinsic w name args
+
+and intrinsic w name args : Absdom.t =
+  let n = w.n in
+  match (name, args) with
+  | "myproc", [] -> Absdom.normalize (Array.init n (fun p -> Absdom.Pint p))
+  | "nprocs", [] -> Absdom.Uni (Absdom.Pint n)
+  | "tab$", sel :: consts ->
+    let s = eval w sel in
+    let cvals = Array.of_list (List.map (eval w) consts) in
+    Absdom.normalize
+      (Array.init n (fun p ->
+           match Absdom.int_at s p with
+           | Some i when i >= 0 && i < Array.length cvals ->
+             Absdom.at cvals.(i) p
+           | Some _ -> Absdom.Punk
+           | None -> Absdom.Punk))
+  | "owner$", Ast.Var arr :: subs -> (
+    let obj = array_obj w arr in
+    match obj.a_layout.Layout.dist_dim with
+    | None -> Absdom.normalize (Array.init n (fun p -> Absdom.Pint p))
+    | Some d ->
+      let idx = eval w (List.nth subs d) in
+      Absdom.normalize
+        (Array.init n (fun p ->
+             match Absdom.int_at idx p with
+             | Some i -> (
+               try Absdom.Pint (Layout.owner_of obj.a_layout ~nprocs:n i)
+               with _ -> Absdom.Punk)
+             | None -> Absdom.Punk)))
+  | "abs", [ a ] -> Absdom.map1 n Absdom.abs_ (eval w a)
+  | "sqrt", [ a ] ->
+    Absdom.map1 n
+      (fun v ->
+        match Absdom.to_f v with
+        | Some f -> Absdom.Preal (sqrt f)
+        | None -> Absdom.Punk)
+      (eval w a)
+  | "mod", [ a; b ] -> Absdom.map2 n Absdom.modulo (eval w a) (eval w b)
+  | "max", _ :: _ :: _ -> (
+    match List.map (eval w) args with
+    | v :: rest -> List.fold_left (Absdom.map2 n Absdom.max2) v rest
+    | [] -> assert false)
+  | "min", _ :: _ :: _ -> (
+    match List.map (eval w) args with
+    | v :: rest -> List.fold_left (Absdom.map2 n Absdom.min2) v rest
+    | [] -> assert false)
+  | "float", [ a ] -> Absdom.map1 n Absdom.to_real_pv (eval w a)
+  | "int", [ a ] -> Absdom.map1 n Absdom.to_int_pv (eval w a)
+  | "sign", [ a; b ] ->
+    Absdom.map2 n
+      (fun m s ->
+        match (Absdom.to_f m, Absdom.to_f s) with
+        | Some m', Some s' ->
+          let r = if s' >= 0.0 then Float.abs m' else -.Float.abs m' in
+          (match m with
+          | Absdom.Pint _ -> Absdom.Pint (int_of_float r)
+          | _ -> Absdom.Preal r)
+        | _ -> Absdom.Punk)
+      (eval w a) (eval w b)
+  | _ -> Absdom.unknown
+
+(* --- syntactic helpers ------------------------------------------------ *)
+
+let rec stmts_have_comm w stmts = List.exists (stmt_has_comm w) stmts
+
+and stmt_has_comm w = function
+  | Node.N_send _ | Node.N_recv _ | Node.N_bcast _ | Node.N_remap _ -> true
+  | Node.N_do { body; _ } -> stmts_have_comm w body
+  | Node.N_if { then_; else_; _ } ->
+    stmts_have_comm w then_ || stmts_have_comm w else_
+  | Node.N_call (name, _) -> (
+    match Hashtbl.find_opt w.comm_memo name with
+    | Some b -> b
+    | None ->
+      Hashtbl.replace w.comm_memo name false;
+      (* recursion guard *)
+      let b =
+        match Node.find_proc w.prog name with
+        | Some np -> stmts_have_comm w np.Node.np_body
+        | None -> false
+      in
+      Hashtbl.replace w.comm_memo name b;
+      b)
+  | Node.N_assign _ | Node.N_print _ | Node.N_return -> false
+
+(* Scalars a skipped statement list might write: assignment targets, DO
+   variables, Var actuals of calls (byref), and COMMON scalars once any
+   call is involved. *)
+let assigned_scalars w stmts =
+  let acc = ref [] in
+  let commons () =
+    List.iter (fun (v, _) -> acc := v :: !acc) w.prog.Node.n_common_scalars
+  in
+  let rec go s =
+    match s with
+    | Node.N_assign (Ast.Var v, _) -> acc := v :: !acc
+    | Node.N_assign _ -> ()
+    | Node.N_do { var; body; _ } ->
+      acc := var :: !acc;
+      List.iter go body
+    | Node.N_if { then_; else_; _ } ->
+      List.iter go then_;
+      List.iter go else_
+    | Node.N_call (_, args) ->
+      List.iter
+        (function Ast.Var v -> acc := v :: !acc | _ -> ())
+        args;
+      commons ()
+    | _ -> ()
+  in
+  List.iter go stmts;
+  List.sort_uniq compare !acc
+
+let rec expr_divergent e =
+  match e with
+  | Ast.Var "my$p" -> true
+  | Ast.Funcall (("myproc" | "owner$"), _) -> true
+  | Ast.Var _ | Ast.Int_const _ | Ast.Real_const _ | Ast.Logical_const _ ->
+    false
+  | Ast.Ref (_, subs) -> List.exists expr_divergent subs
+  | Ast.Bin (_, a, b) -> expr_divergent a || expr_divergent b
+  | Ast.Un (_, a) -> expr_divergent a
+  | Ast.Funcall (_, args) -> List.exists expr_divergent args
+
+let rec stmts_mention_divergence stmts =
+  List.exists
+    (fun s ->
+      match s with
+      | Node.N_assign (a, b) -> expr_divergent a || expr_divergent b
+      | Node.N_do { lo; hi; step; body; _ } ->
+        expr_divergent lo || expr_divergent hi
+        || (match step with Some e -> expr_divergent e | None -> false)
+        || stmts_mention_divergence body
+      | Node.N_if { cond; then_; else_ } ->
+        expr_divergent cond
+        || stmts_mention_divergence then_
+        || stmts_mention_divergence else_
+      | Node.N_call (_, args) -> List.exists expr_divergent args
+      | _ -> false)
+    stmts
+
+let all_active act = Array.for_all Fun.id act
+let any_active act = Array.exists Fun.id act
+let active_count act = Array.fold_left (fun a b -> if b then a + 1 else a) 0 act
+
+let missing_procs act =
+  let l = ref [] in
+  for p = Array.length act - 1 downto 0 do
+    if not act.(p) then l := p :: !l
+  done;
+  !l
+
+(* --- assignment ------------------------------------------------------- *)
+
+let do_assign w act lhs rhs =
+  match lhs with
+  | Ast.Var name ->
+    let v = eval w rhs in
+    let cell = scalar_cell w name in
+    let blended = Absdom.blend w.n ~act !cell v in
+    cell :=
+      (if w.uncertain > 0 then Absdom.join w.n !cell blended else blended)
+  | Ast.Ref _ -> ()  (* array stores carry no abstract information *)
+  | _ -> raise (Stuck "bad assignment target in node program")
+
+let havoc_scalars w act ~divergent names =
+  let upd =
+    if divergent then Absdom.Div (Array.make w.n Absdom.Punk)
+    else Absdom.unknown
+  in
+  List.iter
+    (fun name ->
+      match lookup w name with
+      | Bscalar cell -> cell := Absdom.join w.n !cell (Absdom.blend w.n ~act !cell upd)
+      | Barray _ -> ())
+    names
+
+(* --- communication emission ------------------------------------------ *)
+
+(* Sections are evaluated once into per-processor vectors, then
+   instantiated per processor. *)
+let eval_section_vv w (section : Node.section) =
+  List.map (fun (lo, hi, st) -> (eval w lo, eval w hi, eval w st)) section
+
+(* Instantiate one part's section at processor [p]; walk-time findings
+   for malformed sections mirror the dynamic Diag errors. *)
+let section_at w ~loc ~what p (obj : aobj)
+    (vsec : (Absdom.t * Absdom.t * Absdom.t) list) : Triplet.t list option =
+  if List.length vsec <> List.length obj.a_bounds then begin
+    addf w ~loc ~proc:p Finding.Error "section-rank"
+      (Fmt.str "%s section of %s has %d dimensions, array has %d" what
+         obj.a_name (List.length vsec) (List.length obj.a_bounds));
+    None
+  end
+  else
+    let dims =
+      List.map2
+        (fun (vlo, vhi, vst) (blo, bhi) ->
+          match
+            (Absdom.int_at vlo p, Absdom.int_at vhi p, Absdom.int_at vst p)
+          with
+          | Some l, Some h, Some s ->
+            if s < 1 then begin
+              addf w ~loc ~proc:p Finding.Error "bad-section-step"
+                (Fmt.str "%s section of %s has step %d (must be positive)"
+                   what obj.a_name s);
+              None
+            end
+            else begin
+              let t = Triplet.make ~lo:l ~hi:h ~step:s in
+              if (not (Triplet.is_empty t))
+                 && (Triplet.lo t < blo || Triplet.hi t > bhi)
+              then
+                addf w ~loc ~proc:p Finding.Error
+                  (what ^ "-out-of-bounds")
+                  (Fmt.str
+                     "p%d %ss %s(%s) outside the declared bounds %d:%d" p
+                     what obj.a_name (Triplet.to_string t) blo bhi);
+              Some t
+            end
+          | _ -> None)
+        vsec obj.a_bounds
+    in
+    if List.for_all Option.is_some dims then
+      Some (List.map Option.get dims)
+    else None
+
+let owned_at obj p =
+  match obj.a_layout.Layout.dist_dim with
+  | Some _ -> obj.a_owned.(p)
+  | None -> Iset.empty
+
+let emit_send w act ~loc dest parts tag =
+  let vdest = eval w dest in
+  let vparts =
+    List.map
+      (fun (array, section) ->
+        (array_obj w array, array, eval_section_vv w section))
+      parts
+  in
+  let nonempty, empty =
+    match Hashtbl.find_opt w.send_stats (loc, tag) with
+    | Some c -> c
+    | None ->
+      let c = (ref 0, ref 0) in
+      Hashtbl.replace w.send_stats (loc, tag) c;
+      c
+  in
+  for p = 0 to w.n - 1 do
+    if act.(p) then begin
+      let d = Absdom.int_at vdest p in
+      if d = None then Hashtbl.replace w.fuzzy tag ();
+      let sparts =
+        List.map
+          (fun (obj, array, vsec) ->
+            let triplets = section_at w ~loc ~what:"send" p obj vsec in
+            {
+              Skeleton.p_array = array;
+              p_triplets = triplets;
+              p_dist_dim = obj.a_layout.Layout.dist_dim;
+              p_owned = owned_at obj p;
+            })
+          vparts
+      in
+      (* dead-send accounting: provably-empty vs anything else *)
+      let provably_empty =
+        sparts <> []
+        && List.for_all
+             (fun sp ->
+               match sp.Skeleton.p_triplets with
+               | Some tl -> List.exists Triplet.is_empty tl
+               | None -> false)
+             sparts
+      in
+      if provably_empty then incr empty else incr nonempty;
+      emit w
+        {
+          Skeleton.e_proc = p;
+          e_loc = loc;
+          e_kind = Skeleton.Ev_send { dest = d; tag; parts = sparts };
+        }
+    end
+  done
+
+(* Arrays in scope at a statement, under their LOCAL names (a formal
+   aliases the caller's array but messages refer to the formal). *)
+let visible_arrays w =
+  let acc = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun name b -> match b with Barray o -> Hashtbl.replace acc name o | _ -> ())
+    w.globals;
+  Hashtbl.iter
+    (fun name b -> match b with Barray o -> Hashtbl.replace acc name o | _ -> ())
+    (current_frame w);
+  Hashtbl.fold (fun name o l -> (name, o) :: l) acc []
+
+let emit_recv w act ~loc src tag =
+  let vsrc = eval w src in
+  let arrays = visible_arrays w in
+  for p = 0 to w.n - 1 do
+    if act.(p) then begin
+      let s = Absdom.int_at vsrc p in
+      if s = None then Hashtbl.replace w.fuzzy tag ();
+      let snaps =
+        List.map
+          (fun (name, obj) ->
+            {
+              Skeleton.ra_name = name;
+              ra_dist_dim = obj.a_layout.Layout.dist_dim;
+              ra_owned = owned_at obj p;
+            })
+          arrays
+      in
+      emit w
+        {
+          Skeleton.e_proc = p;
+          e_loc = loc;
+          e_kind = Skeleton.Ev_recv { src = s; tag; arrays = snaps };
+        }
+    end
+  done
+
+(* A collective reached by only part of the ensemble: the rest of the
+   processors never join, which is the scheduler's deadlock-at-site.
+   The event is NOT emitted (the skeleton would only cascade). *)
+let collective_act_ok w act ~loc ~site ~label =
+  if all_active act then true
+  else begin
+    let sev = if w.uncertain > 0 then Finding.Warning else Finding.Error in
+    let qualifier =
+      if w.uncertain > 0 then
+        " (under control flow the analysis could not fully resolve)"
+      else ""
+    in
+    addf w ~loc ~site sev "collective-divergence"
+      (Fmt.str
+         "collective site %d (%s) is reached by only %d of %d processors \
+          (missing: %s)%s — the ensemble deadlocks at this site"
+         site label (active_count act) w.n
+         (String.concat ", "
+            (List.map (fun p -> Fmt.str "p%d" p) (missing_procs act)))
+         qualifier);
+    false
+  end
+
+let emit_coll w ~loc ~site ~label ~root payload =
+  let id = w.next_id in
+  w.next_id <- w.next_id + 1;
+  for p = 0 to w.n - 1 do
+    emit w
+      {
+        Skeleton.e_proc = p;
+        e_loc = loc;
+        e_kind = Skeleton.Ev_coll { id; site; label; root; payload };
+      }
+  done
+
+let do_bcast w act ~loc root payload site =
+  let vroot = eval w root in
+  let root_id = Absdom.uniform_int vroot in
+  (match (root_id, vroot) with
+  | None, Absdom.Div vs
+    when not (Array.exists (fun v -> v = Absdom.Punk) vs) ->
+    addf w ~loc ~site Finding.Error "bcast-root-divergence"
+      "processors disagree on the broadcast root"
+  | None, _ ->
+    addf w ~loc ~site Finding.Info "unverified-collective"
+      (Fmt.str "broadcast root at site %d could not be resolved statically"
+         site)
+  | Some _, _ -> ());
+  match payload with
+  | Node.P_scalar name ->
+    let cell = scalar_cell w name in
+    (* after the broadcast every processor holds the root's value *)
+    let v =
+      match root_id with
+      | Some r -> Absdom.Uni (Absdom.at !cell r)
+      | None -> (
+        match !cell with Absdom.Uni _ as u -> u | Absdom.Div _ -> Absdom.unknown)
+    in
+    cell := (if w.uncertain > 0 then Absdom.join w.n !cell v else v);
+    if collective_act_ok w act ~loc ~site ~label:name then
+      emit_coll w ~loc ~site ~label:name ~root:root_id (Skeleton.Cp_scalar name)
+  | Node.P_section (array, section) ->
+    let obj = array_obj w array in
+    let triplets =
+      match root_id with
+      | Some r ->
+        section_at w ~loc ~what:"broadcast" r obj (eval_section_vv w section)
+      | None -> None
+    in
+    if triplets = None && root_id <> None then
+      addf w ~loc ~site Finding.Info "unverified-collective"
+        (Fmt.str "broadcast payload %s at site %d could not be resolved \
+                  statically" array site);
+    if collective_act_ok w act ~loc ~site ~label:array then
+      emit_coll w ~loc ~site ~label:array ~root:root_id
+        (Skeleton.Cp_section
+           {
+             cs_array = array;
+             cs_triplets = triplets;
+             cs_dist_dim = obj.a_layout.Layout.dist_dim;
+             cs_owned_root =
+               (match root_id with Some r -> owned_at obj r | None -> Iset.empty);
+           })
+
+let do_remap w act ~loc array new_layout site =
+  let obj = array_obj w array in
+  (* well-formedness of the target layout *)
+  let ok = ref true in
+  if new_layout.Layout.bounds <> obj.a_bounds then begin
+    ok := false;
+    addf w ~loc ~site Finding.Error "remap-malformed"
+      (Fmt.str "remap of %s changes the declared bounds" array)
+  end;
+  (match new_layout.Layout.dist_dim with
+  | Some d when d < 0 || d >= List.length obj.a_bounds ->
+    ok := false;
+    addf w ~loc ~site Finding.Error "remap-malformed"
+      (Fmt.str "remap of %s distributes dimension %d of a rank-%d array"
+         array d (List.length obj.a_bounds))
+  | _ -> ());
+  (match new_layout.Layout.dist with
+  | Layout.Block b when b < 1 ->
+    ok := false;
+    addf w ~loc ~site Finding.Error "remap-malformed"
+      (Fmt.str "remap of %s uses block size %d" array b)
+  | Layout.Block_cyclic b when b < 1 ->
+    ok := false;
+    addf w ~loc ~site Finding.Error "remap-malformed"
+      (Fmt.str "remap of %s uses block-cyclic size %d" array b)
+  | _ -> ());
+  if !ok then begin
+    obj.a_layout <- new_layout;
+    obj.a_owned <- Layout.owned new_layout ~nprocs:w.n
+  end;
+  if collective_act_ok w act ~loc ~site ~label:array then
+    emit_coll w ~loc ~site ~label:array ~root:None (Skeleton.Cp_remap array)
+
+(* --- statements ------------------------------------------------------- *)
+
+(* [walk_seq w act stmts] returns the mask of processors still live
+   (act minus those that executed RETURN). *)
+let rec walk_seq w (act : bool array) stmts : bool array =
+  let live = ref act in
+  List.iter (fun s -> if any_active !live then live := walk_stmt w !live s) stmts;
+  !live
+
+and walk_stmt w (act : bool array) (s : Node.nstmt) : bool array =
+  burn w;
+  match s with
+  | Node.N_assign (lhs, rhs) ->
+    do_assign w act lhs rhs;
+    act
+  | Node.N_print _ -> act
+  | Node.N_return ->
+    Array.map (fun _ -> false) act
+  | Node.N_send { dest; parts; tag; loc } ->
+    emit_send w act ~loc dest parts tag;
+    act
+  | Node.N_recv { src; tag; loc } ->
+    emit_recv w act ~loc src tag;
+    act
+  | Node.N_bcast { root; payload; site; loc } ->
+    do_bcast w act ~loc root payload site;
+    act
+  | Node.N_remap { array; new_layout; move = _; site; loc } ->
+    do_remap w act ~loc array new_layout site;
+    act
+  | Node.N_call (name, args) ->
+    walk_call w act name args;
+    act
+  | Node.N_if { cond; then_; else_ } -> walk_if w act cond then_ else_
+  | Node.N_do { var; lo; hi; step; body } ->
+    walk_do w act var lo hi step body
+
+and walk_call w act name args =
+  let np =
+    match Node.find_proc w.prog name with
+    | Some np -> np
+    | None -> raise (Stuck (Fmt.str "call to unknown node procedure %s" name))
+  in
+  if List.length args <> List.length np.Node.np_formals then
+    raise (Stuck (Fmt.str "node procedure %s arity mismatch" name));
+  let frame : frame = Hashtbl.create 16 in
+  List.iter2
+    (fun formal actual ->
+      let binding =
+        match actual with
+        | Ast.Var v -> lookup w v
+        | e -> Bscalar (ref (eval w e))
+      in
+      Hashtbl.replace frame formal binding)
+    np.Node.np_formals args;
+  let is_common nm = Hashtbl.mem w.globals nm in
+  List.iter
+    (fun (ad : Node.array_decl) ->
+      if (not (List.mem ad.Node.ad_name np.Node.np_formals))
+         && not (is_common ad.Node.ad_name)
+      then Hashtbl.replace frame ad.Node.ad_name (Barray (alloc_aobj ~nprocs:w.n ad)))
+    np.Node.np_arrays;
+  List.iter
+    (fun (v, ty) ->
+      if (not (List.mem v np.Node.np_formals))
+         && (not (Hashtbl.mem frame v))
+         && not (is_common v)
+      then Hashtbl.replace frame v (Bscalar (ref (zero_of ty))))
+    np.Node.np_scalars;
+  w.frames <- frame :: w.frames;
+  let _live = walk_seq w act np.Node.np_body in
+  w.frames <- List.tl w.frames
+
+and walk_if w act cond then_ else_ : bool array =
+  let vc = eval w cond in
+  match vc with
+  | Absdom.Uni (Absdom.Pbool true) -> walk_seq w act then_
+  | Absdom.Uni (Absdom.Pbool false) -> walk_seq w act else_
+  | Absdom.Uni _ ->
+    (* unknown but processor-uniform: both branches possible, all
+       processors take the same one — collectives inside stay congruent *)
+    walk_branches_as_regions w act ~divergent:false then_ else_;
+    act
+  | Absdom.Div vs ->
+    let decid =
+      Array.for_all2
+        (fun a v -> (not a) || match v with Absdom.Pbool _ -> true | _ -> false)
+        act vs
+    in
+    if decid then begin
+      let act_t =
+        Array.mapi (fun p a -> a && vs.(p) = Absdom.Pbool true) act
+      and act_e =
+        Array.mapi (fun p a -> a && vs.(p) = Absdom.Pbool false) act
+      in
+      let live_t = if any_active act_t then walk_seq w act_t then_ else act_t in
+      let live_e = if any_active act_e then walk_seq w act_e else_ else act_e in
+      Array.init w.n (fun p -> live_t.(p) || live_e.(p))
+    end
+    else begin
+      (* processors genuinely disagree and we cannot tell which way:
+         collective congruence inside is unverifiable *)
+      walk_branches_as_regions w act ~divergent:true then_ else_;
+      act
+    end
+
+and walk_branches_as_regions w act ~divergent then_ else_ =
+  let evs_t = walk_region w act then_ in
+  let evs_e = walk_region w act else_ in
+  finish_regions w ~divergent [ evs_t; evs_e ]
+
+(* Walk [stmts] once with weak scalar updates, capturing its events. *)
+and walk_region w act stmts : Skeleton.event list =
+  let saved = w.buf in
+  let buf = ref [] in
+  w.buf <- buf;
+  w.uncertain <- w.uncertain + 1;
+  Fun.protect
+    ~finally:(fun () ->
+      w.uncertain <- w.uncertain - 1;
+      w.buf <- saved)
+    (fun () -> ignore (walk_seq w act stmts));
+  List.rev !buf
+
+(* Post-process regions: their p2p tags become unverifiable (excluded
+   from hard deadlock verdicts), each region is matched in isolation at
+   Info severity, a divergent region containing collectives is the
+   "divergent-branch collective" warning, and any data the region may
+   have delivered is assumed received so later sends are not falsely
+   flagged. *)
+and finish_regions w ~divergent (regions : Skeleton.event list list) =
+  let all = List.concat regions in
+  if all <> [] then begin
+    let p2p = ref false in
+    List.iter
+      (fun (ev : Skeleton.event) ->
+        match ev.Skeleton.e_kind with
+        | Skeleton.Ev_send { tag; _ } | Skeleton.Ev_recv { tag; _ } ->
+          p2p := true;
+          Hashtbl.replace w.fuzzy tag ()
+        | _ -> ())
+      all;
+    (* divergent-branch collectives: report every site, with both
+       branches' locations *)
+    if divergent then begin
+      let sites = Hashtbl.create 4 in
+      List.iter
+        (fun (ev : Skeleton.event) ->
+          match ev.Skeleton.e_kind with
+          | Skeleton.Ev_coll { site; label; _ } ->
+            if not (Hashtbl.mem sites site) then
+              Hashtbl.replace sites site (label, ev.Skeleton.e_loc)
+          | _ -> ())
+        all;
+      let listed =
+        Hashtbl.fold
+          (fun site (label, loc) acc ->
+            Fmt.str "site %d (%s)%s" site label
+              (if loc <> Loc.none then Fmt.str " [%a]" Loc.pp loc else "")
+            :: acc)
+          sites []
+      in
+      if listed <> [] then
+        let loc =
+          List.find_map
+            (fun (ev : Skeleton.event) ->
+              match ev.Skeleton.e_kind with
+              | Skeleton.Ev_coll _ when ev.Skeleton.e_loc <> Loc.none ->
+                Some ev.Skeleton.e_loc
+              | _ -> None)
+            all
+        in
+        addf w ?loc ?site:None Finding.Warning "collective-divergence"
+          (Fmt.str
+             "collective(s) under processor-divergent control flow: %s — \
+              congruence cannot be verified"
+             (String.concat ", " (List.sort compare listed)))
+    end;
+    (* self-check each branch in isolation, degraded to Info *)
+    List.iter
+      (fun evs ->
+        if evs <> [] && !p2p then
+          w.findings <-
+            Skeleton.run ~nprocs:w.n ~degrade:true evs @ w.findings)
+      regions;
+    (* assume the region's deliveries happened *)
+    List.iter
+      (fun (ev : Skeleton.event) ->
+        let assume array elems =
+          if not (Iset.is_empty elems) then
+            emit w
+              {
+                Skeleton.e_proc = 0;
+                e_loc = ev.Skeleton.e_loc;
+                e_kind = Skeleton.Ev_assume { array; elems };
+              }
+        in
+        match ev.Skeleton.e_kind with
+        | Skeleton.Ev_send { parts; _ } ->
+          List.iter
+            (fun (sp : Skeleton.part) ->
+              match (sp.Skeleton.p_triplets, sp.Skeleton.p_dist_dim) with
+              | Some tl, Some d when List.length tl > d ->
+                assume sp.Skeleton.p_array (Iset.of_triplet (List.nth tl d))
+              | _ -> ())
+            parts
+        | Skeleton.Ev_coll
+            { payload =
+                Skeleton.Cp_section
+                  { cs_array; cs_triplets = Some tl; cs_dist_dim = Some d; _ };
+              _;
+            }
+          when List.length tl > d ->
+          assume cs_array (Iset.of_triplet (List.nth tl d))
+        | _ -> ())
+      all;
+    let loc =
+      List.find_map
+        (fun (ev : Skeleton.event) ->
+          if ev.Skeleton.e_loc <> Loc.none then Some ev.Skeleton.e_loc
+          else None)
+        all
+    in
+    addf w ?loc Finding.Info "unverified-region"
+      "communication under statically-unresolved control flow was matched \
+       in isolation only"
+  end
+
+and walk_do w act var lo hi step body : bool array =
+  let has_comm = stmts_have_comm w body in
+  let vlo = eval w lo and vhi = eval w hi in
+  let vst = match step with None -> Absdom.Uni (Absdom.Pint 1) | Some e -> eval w e in
+  let divergent_bounds =
+    not (Absdom.is_uniform vlo && Absdom.is_uniform vhi && Absdom.is_uniform vst)
+  in
+  if not has_comm then begin
+    (* communication-free loops are skipped entirely — the analysis only
+       cares about the communication skeleton.  Scalars the body could
+       write are forgotten; they diverge if the body mentions my$p, the
+       bounds differ across processors, or the mask is partial. *)
+    let divergent =
+      divergent_bounds
+      || stmts_mention_divergence body
+      || not (all_active act)
+    in
+    havoc_scalars w act ~divergent (var :: assigned_scalars w body);
+    act
+  end
+  else begin
+    let bound p v = Absdom.int_at v p in
+    let all_known =
+      let ok = ref true in
+      for p = 0 to w.n - 1 do
+        if act.(p)
+           && (bound p vlo = None || bound p vhi = None || bound p vst = None)
+        then ok := false
+      done;
+      !ok
+    in
+    if all_known then begin
+      let lo_p = Array.init w.n (fun p -> Option.value (bound p vlo) ~default:0)
+      and hi_p = Array.init w.n (fun p -> Option.value (bound p vhi) ~default:0)
+      and st_p = Array.init w.n (fun p -> Option.value (bound p vst) ~default:1) in
+      let zero_step = ref false in
+      Array.iteri (fun p st -> if act.(p) && st = 0 then zero_step := true) st_p;
+      if !zero_step then begin
+        addf w Finding.Error "zero-do-step"
+          (Fmt.str "DO %s has a zero step" var);
+        act
+      end
+      else begin
+        (* ordinal-lockstep unrolling: iteration k runs simultaneously on
+           every processor still in range — the SPMD execution model *)
+        let cell = scalar_cell w var in
+        let live = ref act in
+        let k = ref 0 in
+        let in_range p k =
+          let v = lo_p.(p) + (k * st_p.(p)) in
+          if st_p.(p) > 0 then v <= hi_p.(p) else v >= hi_p.(p)
+        in
+        let continue_ () =
+          let any = ref false in
+          for p = 0 to w.n - 1 do
+            if !live.(p) && in_range p !k then any := true
+          done;
+          !any
+        in
+        while continue_ () do
+          burn w;
+          let act_k = Array.mapi (fun p l -> l && in_range p !k) !live in
+          let upd =
+            Absdom.normalize
+              (Array.init w.n (fun p ->
+                   if act_k.(p) then Absdom.Pint (lo_p.(p) + (!k * st_p.(p)))
+                   else Absdom.Punk))
+          in
+          cell := Absdom.blend w.n ~act:act_k !cell upd;
+          let live_k = walk_seq w act_k body in
+          (* processors that RETURNed during this iteration stay out *)
+          live :=
+            Array.mapi (fun p l -> if act_k.(p) then live_k.(p) else l) !live;
+          incr k
+        done;
+        !live
+      end
+    end
+    else begin
+      (* comm under statically-unknown trip counts: walk one symbolic
+         iteration as a region *)
+      havoc_scalars w act ~divergent:divergent_bounds [ var ];
+      let evs = walk_region w act body in
+      finish_regions w ~divergent:divergent_bounds [ evs ];
+      act
+    end
+  end
+
+(* --- entry ------------------------------------------------------------ *)
+
+let fuel_budget = 1_000_000
+
+let no_program msg =
+  {
+    events = [];
+    findings =
+      [
+        Finding.make Finding.Error "invalid-node-program"
+          ("the node program is not executable: " ^ msg);
+      ];
+    fuzzy_tags = Hashtbl.create 1;
+    complete = false;
+    visits = 0;
+  }
+
+let walk_main ~nprocs (prog : Node.program) (main : Node.nproc) : result =
+  let buf = ref [] in
+  let w =
+    {
+      n = nprocs;
+      prog;
+      globals = Hashtbl.create 8;
+      frames = [];
+      fuel = fuel_budget;
+      uncertain = 0;
+      buf;
+      next_id = 0;
+      findings = [];
+      fuzzy = Hashtbl.create 8;
+      send_stats = Hashtbl.create 16;
+      comm_memo = Hashtbl.create 8;
+      finding_seen = Hashtbl.create 16;
+    }
+  in
+  let frame : frame = Hashtbl.create 16 in
+  List.iter
+    (fun (ad : Node.array_decl) ->
+      Hashtbl.replace w.globals ad.Node.ad_name
+        (Barray (alloc_aobj ~nprocs ad)))
+    prog.Node.n_common_arrays;
+  List.iter
+    (fun (v, ty) -> Hashtbl.replace w.globals v (Bscalar (ref (zero_of ty))))
+    prog.Node.n_common_scalars;
+  List.iter
+    (fun (ad : Node.array_decl) ->
+      if not (Hashtbl.mem w.globals ad.Node.ad_name) then
+        Hashtbl.replace frame ad.Node.ad_name
+          (Barray (alloc_aobj ~nprocs ad)))
+    main.Node.np_arrays;
+  List.iter
+    (fun (v, ty) ->
+      if not (Hashtbl.mem w.globals v) then
+        Hashtbl.replace frame v (Bscalar (ref (zero_of ty))))
+    main.Node.np_scalars;
+  w.frames <- [ frame ];
+  let act = Array.make nprocs true in
+  let complete =
+    try
+      ignore (walk_seq w act main.Node.np_body);
+      true
+    with
+    | Truncated ->
+      w.findings <-
+        Finding.make Finding.Info "analysis-truncated"
+          (Fmt.str
+             "static analysis budget (%d statement visits) exhausted; \
+              communication matching was skipped"
+             fuel_budget)
+        :: w.findings;
+      false
+    | Stuck msg ->
+      w.findings <-
+        Finding.make Finding.Error "invalid-node-program"
+          ("the node program is not executable: " ^ msg)
+        :: w.findings;
+      false
+  in
+  (* dead-send lint: a send statement that never carries an element for
+     any processor on any visit *)
+  Hashtbl.iter
+    (fun (loc, tag) (nonempty, empty) ->
+      if !empty > 0 && !nonempty = 0 then
+        addf w ~loc ~tag Finding.Warning "empty-send"
+          (Fmt.str
+             "send {tag %d} carries no elements for any processor (dead \
+              communication)" tag))
+    w.send_stats;
+  {
+    events = List.rev !(w.buf);
+    findings = w.findings;
+    fuzzy_tags = w.fuzzy;
+    complete;
+    visits = fuel_budget - w.fuel;
+  }
+
+let walk ~nprocs (prog : Node.program) : result =
+  match Node.find_proc prog prog.Node.n_main with
+  | None -> no_program (Fmt.str "no main node program %s" prog.Node.n_main)
+  | Some main -> (
+    try walk_main ~nprocs prog main
+    with Stuck msg -> no_program msg)

@@ -1,0 +1,141 @@
+(* Deterministic fault pragmas for negative examples.
+
+   A Fortran D source may carry [!break: <directive>] comment lines
+   (inert to the parser).  After code generation the driver applies the
+   directives as node-program mutations, so the static verifier and the
+   simulator both see the SAME broken program — which is what makes the
+   differential soundness oracle (test_verify) directly testable.
+
+   Directives:
+   - [divergent-collective]: guard the first collective with
+     [if (my$p /= 0)] — part of the ensemble never reaches the site;
+   - [mismatch-tag]: bump the first recv's tag so no send matches;
+   - [oob-send]: stretch the first send section past the declared
+     bounds;
+   - [empty-send]: clone the first send/recv exchange on a fresh tag
+     with the payload section emptied to 2:1 — a well-paired message
+     that provably carries nothing (dead communication, but the
+     program still runs clean). *)
+
+open Fd_frontend
+open Fd_machine
+
+let scan (source : string) : string list =
+  let prefix = "!break:" in
+  String.split_on_char '\n' source
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if String.length line > String.length prefix
+            && String.sub line 0 (String.length prefix) = prefix
+         then
+           Some
+             (String.trim
+                (String.sub line (String.length prefix)
+                   (String.length line - String.length prefix)))
+         else None)
+
+(* Splice a replacement sequence in place of the first statement
+   (preorder, procedures in program order) for which [f] returns one. *)
+let rewrite_first_seq (f : Node.nstmt -> Node.nstmt list option)
+    (prog : Node.program) : Node.program option =
+  let hit = ref false in
+  let rec stmt s =
+    if !hit then [ s ]
+    else
+      match f s with
+      | Some ss ->
+        hit := true;
+        ss
+      | None -> (
+        match s with
+        | Node.N_do d ->
+          [ Node.N_do { d with body = List.concat_map stmt d.body } ]
+        | Node.N_if { cond; then_; else_ } ->
+          let then_ = List.concat_map stmt then_ in
+          let else_ = List.concat_map stmt else_ in
+          [ Node.N_if { cond; then_; else_ } ]
+        | s -> [ s ])
+  in
+  let procs =
+    List.map
+      (fun np ->
+        { np with Node.np_body = List.concat_map stmt np.Node.np_body })
+      prog.Node.n_procs
+  in
+  if !hit then Some { prog with Node.n_procs = procs } else None
+
+let rewrite_first (f : Node.nstmt -> Node.nstmt option) prog =
+  rewrite_first_seq (fun s -> Option.map (fun s' -> [ s' ]) (f s)) prog
+
+let guard_not_root s =
+  Node.N_if
+    {
+      cond = Ast.Bin (Ast.Ne, Ast.Var "my$p", Ast.Int_const 0);
+      then_ = [ s ];
+      else_ = [];
+    }
+
+let apply_one prog = function
+  | "divergent-collective" ->
+    rewrite_first
+      (function
+        | (Node.N_bcast _ | Node.N_remap _) as s -> Some (guard_not_root s)
+        | _ -> None)
+      prog
+  | "mismatch-tag" ->
+    rewrite_first
+      (function
+        | Node.N_recv { src; tag; loc } ->
+          Some (Node.N_recv { src; tag = tag + 1_000_000; loc })
+        | _ -> None)
+      prog
+  | "oob-send" ->
+    rewrite_first
+      (function
+        | Node.N_send { dest; parts = (a, (lo, hi, st) :: dims) :: rest; tag; loc } ->
+          let hi = Ast.Bin (Ast.Add, hi, Ast.Int_const 1000) in
+          Some
+            (Node.N_send
+               { dest; parts = (a, (lo, hi, st) :: dims) :: rest; tag; loc })
+        | _ -> None)
+      prog
+  | "empty-send" ->
+    (* Clone the first exchange onto a fresh tag with an empty payload.
+       The clones sit right after the originals, under the same owner
+       guards, so the dead message still pairs up and the program runs
+       clean — it just ships nothing. *)
+    let bump = 500_000 in
+    let sent_tag = ref None in
+    Option.bind
+      (rewrite_first_seq
+         (function
+           | Node.N_send { dest; parts = (a, _ :: dims) :: rest; tag; loc }
+             as s ->
+             sent_tag := Some tag;
+             let dim = (Ast.Int_const 2, Ast.Int_const 1, Ast.Int_const 1) in
+             Some
+               [
+                 s;
+                 Node.N_send
+                   { dest; parts = (a, dim :: dims) :: rest;
+                     tag = tag + bump; loc };
+               ]
+           | _ -> None)
+         prog)
+      (rewrite_first_seq (function
+        | Node.N_recv { src; tag; loc } as s when Some tag = !sent_tag ->
+          Some [ s; Node.N_recv { src; tag = tag + bump; loc } ]
+        | _ -> None))
+  | _ -> None
+
+(* Apply every directive; returns the mutated program and the
+   directives that failed to apply (unknown name or no matching
+   statement), so tests can fail loudly instead of silently passing. *)
+let apply (prog : Node.program) (directives : string list) :
+    Node.program * string list =
+  List.fold_left
+    (fun (prog, failed) d ->
+      match apply_one prog d with
+      | Some prog' -> (prog', failed)
+      | None -> (prog, d :: failed))
+    (prog, []) directives

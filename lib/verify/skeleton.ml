@@ -1,0 +1,419 @@
+(* The communication skeleton: the residue of a node program after the
+   abstract interpreter (Absint) strips away computation, leaving one
+   event list per processor.  This module replays that skeleton with an
+   abstract scheduler that mirrors Fd_machine.Scheduler:
+
+   - point-to-point sends queue on (src, dest, tag) channels; a recv
+     blocks until a matching message is queued;
+   - collectives barrier on their emission id (the walker emits one id
+     per dynamic collective instance, covering the full ensemble);
+   - when no processor can make progress and some are unfinished, that
+     is a static deadlock — reported with the same wait-for graph and
+     cycle extraction as the dynamic scheduler's Deadlock error.
+
+   Payload validity is checked in causal order, mirroring the storage
+   model: an element may be sent only if the sender owns it or has
+   received it earlier (Storage.Invalid_read otherwise), and a remap
+   invalidates everything previously received for that array. *)
+
+open Fd_support
+
+type part = {
+  p_array : string;
+  p_triplets : Triplet.t list option;  (* None: section not evaluable *)
+  p_dist_dim : int option;
+  p_owned : Iset.t;  (* sender's owned set (dist dim) at emission *)
+}
+
+type recv_array = {
+  ra_name : string;
+  ra_dist_dim : int option;
+  ra_owned : Iset.t;  (* receiver's owned set (dist dim) at emission *)
+}
+
+type coll_payload =
+  | Cp_scalar of string
+  | Cp_section of {
+      cs_array : string;
+      cs_triplets : Triplet.t list option;  (* evaluated at the root *)
+      cs_dist_dim : int option;
+      cs_owned_root : Iset.t;
+    }
+  | Cp_remap of string
+
+type kind =
+  | Ev_send of { dest : int option; tag : int; parts : part list }
+  | Ev_recv of { src : int option; tag : int; arrays : recv_array list }
+  | Ev_coll of { id : int; site : int; label : string; root : int option;
+                 payload : coll_payload }
+  | Ev_assume of { array : string; elems : Iset.t }
+      (* data conservatively assumed delivered by communication inside a
+         region the walker could not verify: grows every processor's
+         received set so later sends are not falsely flagged *)
+
+type event = { e_proc : int; e_kind : kind; e_loc : Loc.t }
+
+(* ---------------------------------------------------------------------- *)
+
+type chan_msg = { m_src : int; m_parts : part list; m_loc : Loc.t }
+
+type st = {
+  n : int;
+  degrade : bool;  (* region self-check: cap every severity at Info *)
+  fuzzy : (int, unit) Hashtbl.t;  (* tags with unverifiable endpoints *)
+  received : (int * string, Iset.t ref) Hashtbl.t;
+  chans : (int * int * int, chan_msg Queue.t) Hashtbl.t;  (* src,dest,tag *)
+  wild : (int, chan_msg Queue.t) Hashtbl.t;  (* unknown-dest sends, by tag *)
+  mutable findings : Finding.t list;
+  redundant_seen : (Loc.t, unit) Hashtbl.t;
+}
+
+let add st ?loc ?proc ?tag ?site sev kind msg =
+  let sev = if st.degrade then Finding.Info else sev in
+  st.findings <- Finding.make ?loc ?proc ?tag ?site sev kind msg :: st.findings
+
+let received st p array =
+  match Hashtbl.find_opt st.received (p, array) with
+  | Some r -> r
+  | None ->
+    let r = ref Iset.empty in
+    Hashtbl.replace st.received (p, array) r;
+    r
+
+let chan st key =
+  match Hashtbl.find_opt st.chans key with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Hashtbl.replace st.chans key q;
+    q
+
+let wild_chan st tag =
+  match Hashtbl.find_opt st.wild tag with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Hashtbl.replace st.wild tag q;
+    q
+
+let dist_elems part =
+  match (part.p_triplets, part.p_dist_dim) with
+  | Some tl, Some d when List.length tl > d ->
+    Some (Iset.of_triplet (List.nth tl d))
+  | _ -> None
+
+let process_send st p loc (dest : int option) tag parts =
+  List.iter
+    (fun part ->
+      if part.p_triplets = None then Hashtbl.replace st.fuzzy tag ();
+      match dist_elems part with
+      | Some elems ->
+        let valid = Iset.union part.p_owned !(received st p part.p_array) in
+        if not (Iset.subset elems valid) then
+          add st ~loc ~proc:p ~tag Finding.Error "send-unowned-data"
+            (Fmt.str
+               "p%d sends %s elements %s in the distributed dimension that it \
+                neither owns nor has received"
+               p part.p_array
+               (Iset.to_string (Iset.diff elems valid)))
+      | None -> ())
+    parts;
+  let msg = { m_src = p; m_parts = parts; m_loc = loc } in
+  match dest with
+  | Some d -> Queue.add msg (chan st (p, d, tag))
+  | None ->
+    Hashtbl.replace st.fuzzy tag ();
+    Queue.add msg (wild_chan st tag)
+
+(* Find a queued message for a recv at processor [p]. *)
+let match_recv st p (src : int option) tag : chan_msg option =
+  let take q = if Queue.is_empty q then None else Some (Queue.pop q) in
+  let from_wild () =
+    match Hashtbl.find_opt st.wild tag with
+    | Some q -> take q
+    | None -> None
+  in
+  match src with
+  | Some s -> (
+    match Hashtbl.find_opt st.chans (s, p, tag) with
+    | Some q when not (Queue.is_empty q) -> take q
+    | _ -> from_wild ())
+  | None -> (
+    Hashtbl.replace st.fuzzy tag ();
+    let found = ref None in
+    Hashtbl.iter
+      (fun (_, d, t) q ->
+        if !found = None && d = p && t = tag && not (Queue.is_empty q) then
+          found := take q)
+      st.chans;
+    match !found with Some _ as m -> m | None -> from_wild ())
+
+let apply_recv st p recv_loc (arrays : recv_array list) (msg : chan_msg) tag =
+  let all_known = ref true and all_owned = ref true and has_dist = ref false in
+  List.iter
+    (fun part ->
+      match dist_elems part with
+      | Some elems -> (
+        has_dist := true;
+        match List.find_opt (fun ra -> ra.ra_name = part.p_array) arrays with
+        | None ->
+          all_owned := false;
+          add st ~loc:msg.m_loc ~proc:p ~tag Finding.Error "recv-unknown-array"
+            (Fmt.str "message stores into %s, which is not visible at the \
+                      receiving processor p%d" part.p_array p)
+        | Some ra ->
+          if not (Iset.subset elems ra.ra_owned) then all_owned := false;
+          let r = received st p part.p_array in
+          r := Iset.union !r elems)
+      | None -> all_known := false)
+    msg.m_parts;
+  if !all_known && !has_dist && !all_owned
+     && not (Hashtbl.mem st.redundant_seen recv_loc)
+  then begin
+    Hashtbl.replace st.redundant_seen recv_loc ();
+    add st ~loc:recv_loc ~proc:p ~tag Finding.Warning "redundant-recv"
+      (Fmt.str "p%d receives only elements it already owns (message from p%d)"
+         p msg.m_src)
+  end
+
+let apply_coll st (evs : event array) =
+  (* All processors are parked at the same emission; the walker
+     guarantees structural agreement, so consult processor 0's copy. *)
+  match evs.(0).e_kind with
+  | Ev_coll { root; payload; site; _ } -> (
+    let loc = evs.(0).e_loc in
+    match payload with
+    | Cp_scalar _ -> ()
+    | Cp_remap array ->
+      for p = 0 to st.n - 1 do
+        received st p array := Iset.empty
+      done
+    | Cp_section { cs_array; cs_triplets; cs_dist_dim; cs_owned_root } -> (
+      match (cs_triplets, cs_dist_dim, root) with
+      | Some tl, Some d, Some r when List.length tl > d ->
+        let elems = Iset.of_triplet (List.nth tl d) in
+        let valid = Iset.union cs_owned_root !(received st r cs_array) in
+        if not (Iset.subset elems valid) then
+          add st ~loc ~proc:r ~site Finding.Error "bcast-unowned-data"
+            (Fmt.str
+               "broadcast root p%d sends %s elements %s it neither owns nor \
+                has received"
+               r cs_array
+               (Iset.to_string (Iset.diff elems valid)));
+        for p = 0 to st.n - 1 do
+          let rc = received st p cs_array in
+          rc := Iset.union !rc elems
+        done
+      | _ -> ()))
+  | _ -> assert false
+
+(* --- deadlock reporting (mirrors Scheduler.wait_for_graph) ------------ *)
+
+let find_cycle edges n =
+  (* DFS cycle extraction, as in the dynamic scheduler. *)
+  let state = Array.make n 0 in
+  (* 0 white, 1 gray, 2 black *)
+  let cycle = ref None in
+  let rec dfs path p =
+    if !cycle = None then
+      match state.(p) with
+      | 1 ->
+        let rec upto acc = function
+          | [] -> acc
+          | q :: _ when q = p -> q :: acc
+          | q :: rest -> upto (q :: acc) rest
+        in
+        cycle := Some (upto [] path)
+      | 2 -> ()
+      | _ ->
+        state.(p) <- 1;
+        List.iter (dfs (p :: path)) edges.(p);
+        state.(p) <- 2
+  in
+  for p = 0 to n - 1 do
+    if !cycle = None then dfs [] p
+  done;
+  !cycle
+
+let report_quiescence st (blocked : (int * event) list) =
+  let n = st.n in
+  let blocked_tbl = Hashtbl.create 8 in
+  List.iter (fun (p, ev) -> Hashtbl.replace blocked_tbl p ev) blocked;
+  let describe (p, ev) =
+    match ev.e_kind with
+    | Ev_recv { src; tag; _ } ->
+      Fmt.str "p%d waits on recv%s {tag %d}%s" p
+        (match src with Some s -> Fmt.str " from p%d" s | None -> "")
+        tag
+        (if ev.e_loc <> Loc.none then Fmt.str " [%a]" Loc.pp ev.e_loc else "")
+    | Ev_coll { site; label; _ } ->
+      Fmt.str "p%d waits at collective site %d (%s)%s" p site label
+        (if ev.e_loc <> Loc.none then Fmt.str " [%a]" Loc.pp ev.e_loc else "")
+    | _ -> Fmt.str "p%d blocked" p
+  in
+  let edges = Array.make n [] in
+  List.iter
+    (fun (p, ev) ->
+      edges.(p) <-
+        (match ev.e_kind with
+        | Ev_recv { src = Some s; _ } -> [ s ]
+        | Ev_recv { src = None; _ } ->
+          List.filter (fun q -> q <> p) (List.init n Fun.id)
+        | Ev_coll { id; _ } ->
+          (* waits on every processor not parked at the same emission *)
+          List.filter
+            (fun q ->
+              q <> p
+              &&
+              match Hashtbl.find_opt blocked_tbl q with
+              | Some { e_kind = Ev_coll { id = id'; _ }; _ } -> id' <> id
+              | _ -> true)
+            (List.init n Fun.id)
+        | _ -> []))
+    blocked;
+  let cycle_txt =
+    match find_cycle edges n with
+    | Some c ->
+      Fmt.str "; wait cycle: %s"
+        (String.concat " -> " (List.map (fun p -> Fmt.str "p%d" p) c))
+    | None -> ""
+  in
+  let all_fuzzy =
+    blocked <> []
+    && List.for_all
+         (fun (_, ev) ->
+           match ev.e_kind with
+           | Ev_recv { tag; _ } -> Hashtbl.mem st.fuzzy tag
+           | _ -> false)
+         blocked
+  in
+  let loc =
+    match blocked with (_, ev) :: _ -> ev.e_loc | [] -> Loc.none
+  in
+  let msg =
+    Fmt.str "ensemble reaches quiescence with blocked processors: %s%s"
+      (String.concat "; " (List.map describe blocked))
+      cycle_txt
+  in
+  if all_fuzzy then
+    add st ~loc Finding.Info "unverified-comm"
+      (msg ^ " (all waits involve tags the analysis could not resolve)")
+  else add st ~loc Finding.Error "static-deadlock" msg
+
+(* ---------------------------------------------------------------------- *)
+
+let run ~nprocs ?(degrade = false) ?fuzzy_tags (events : event list) :
+    Finding.t list =
+  let st =
+    {
+      n = nprocs;
+      degrade;
+      fuzzy =
+        (match fuzzy_tags with
+        | Some t -> Hashtbl.copy t
+        | None -> Hashtbl.create 8);
+      received = Hashtbl.create 16;
+      chans = Hashtbl.create 16;
+      wild = Hashtbl.create 4;
+      findings = [];
+      redundant_seen = Hashtbl.create 8;
+    }
+  in
+  (* Assumed deliveries apply up front: they only weaken later validity
+     checks, which is the sound direction for an unverified region. *)
+  let events =
+    List.filter
+      (fun ev ->
+        match ev.e_kind with
+        | Ev_assume { array; elems } ->
+          for p = 0 to nprocs - 1 do
+            let r = received st p array in
+            r := Iset.union !r elems
+          done;
+          false
+        | _ -> true)
+      events
+  in
+  let queues = Array.make nprocs [] in
+  List.iter (fun ev -> queues.(ev.e_proc) <- ev :: queues.(ev.e_proc)) events;
+  let queues = Array.map (fun l -> Array.of_list (List.rev l)) queues in
+  let cur = Array.make nprocs 0 in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    for p = 0 to nprocs - 1 do
+      let continue_ = ref true in
+      while !continue_ do
+        if cur.(p) >= Array.length queues.(p) then continue_ := false
+        else
+          let ev = queues.(p).(cur.(p)) in
+          match ev.e_kind with
+          | Ev_send { dest; tag; parts } ->
+            process_send st p ev.e_loc dest tag parts;
+            cur.(p) <- cur.(p) + 1;
+            progress := true
+          | Ev_recv { src; tag; arrays } -> (
+            match match_recv st p src tag with
+            | Some msg ->
+              apply_recv st p ev.e_loc arrays msg tag;
+              cur.(p) <- cur.(p) + 1;
+              progress := true
+            | None -> continue_ := false)
+          | Ev_coll _ -> continue_ := false
+          | Ev_assume _ ->
+            cur.(p) <- cur.(p) + 1;
+            progress := true
+      done
+    done;
+    (* collective barrier: fire when the whole ensemble is parked at the
+       same emission *)
+    let at_coll p =
+      if cur.(p) >= Array.length queues.(p) then None
+      else
+        match queues.(p).(cur.(p)).e_kind with
+        | Ev_coll { id; _ } -> Some id
+        | _ -> None
+    in
+    let ready =
+      match at_coll 0 with
+      | Some id0 ->
+        let ok = ref true in
+        for p = 1 to nprocs - 1 do
+          if at_coll p <> Some id0 then ok := false
+        done;
+        !ok
+      | None -> false
+    in
+    if ready then begin
+      apply_coll st (Array.init nprocs (fun p -> queues.(p).(cur.(p))));
+      for p = 0 to nprocs - 1 do
+        cur.(p) <- cur.(p) + 1
+      done;
+      progress := true
+    end
+  done;
+  let blocked = ref [] in
+  for p = nprocs - 1 downto 0 do
+    if cur.(p) < Array.length queues.(p) then
+      blocked := (p, queues.(p).(cur.(p))) :: !blocked
+  done;
+  let deadlocked = !blocked <> [] in
+  if deadlocked then report_quiescence st !blocked;
+  (* Undelivered messages: pure lint unless a deadlock already explains
+     them (then they are consequences, not causes). *)
+  if not deadlocked then begin
+    let leftover = Hashtbl.create 8 in
+    let note tag (msg : chan_msg) =
+      if not (Hashtbl.mem st.fuzzy tag) then
+        if not (Hashtbl.mem leftover (tag, msg.m_loc)) then begin
+          Hashtbl.replace leftover (tag, msg.m_loc) ();
+          add st ~loc:msg.m_loc ~proc:msg.m_src ~tag Finding.Warning
+            "unmatched-send"
+            (Fmt.str "message sent by p%d {tag %d} is never received" msg.m_src
+               tag)
+        end
+    in
+    Hashtbl.iter (fun (_, _, tag) q -> Queue.iter (note tag) q) st.chans;
+    Hashtbl.iter (fun tag q -> Queue.iter (note tag) q) st.wild
+  end;
+  st.findings

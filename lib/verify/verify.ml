@@ -1,0 +1,33 @@
+(* Entry points of the static SPMD communication verifier.
+
+   [check_node] = abstract walk (Absint) + skeleton replay (Skeleton):
+   the static counterpart of actually running the program under the
+   simulator.  [Lint.run] covers the source level; the driver combines
+   both for [fdc check]. *)
+
+open Fd_machine
+
+type result = {
+  findings : Finding.t list;
+  visits : int;  (* statements the abstract walk visited (bench E13) *)
+  events : int;  (* skeleton events replayed *)
+}
+
+let check_node ~nprocs (prog : Node.program) : result =
+  let r = Absint.walk ~nprocs prog in
+  let skel_findings =
+    if r.Absint.complete then
+      Skeleton.run ~nprocs ~fuzzy_tags:r.Absint.fuzzy_tags r.Absint.events
+    else []
+  in
+  {
+    findings = Finding.sort (skel_findings @ r.Absint.findings);
+    visits = r.Absint.visits;
+    events = List.length r.Absint.events;
+  }
+
+(* Exit-code discipline shared with fdc: errors always fail; [--strict]
+   also fails on warnings.  Info findings never affect the exit code. *)
+let exit_code ~strict findings =
+  let e, w, _ = Finding.counts findings in
+  if e > 0 then 1 else if strict && w > 0 then 1 else 0

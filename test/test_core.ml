@@ -172,7 +172,7 @@ let comm_shift_block () =
   let need = Array.map (fun s -> Iset.inter (Iset.shift 5 s) (Iset.range 1 100)) owned in
   let stmts =
     Comm.emit_section_comm ~nprocs:4 ~tag:7 ~array:"x" ~owned ~dim:0 ~rank:1 ~need
-      ~other_dims:[]
+      ~other_dims:[] ()
   in
   (* one guarded send + one guarded recv *)
   check_int "two guarded statements" 2 (List.length stmts);
@@ -188,7 +188,7 @@ let comm_local_no_messages () =
   let owned = Fd_machine.Layout.owned layout ~nprocs:4 in
   let stmts =
     Comm.emit_section_comm ~nprocs:4 ~tag:1 ~array:"x" ~owned ~dim:0 ~rank:1
-      ~need:owned ~other_dims:[]
+      ~need:owned ~other_dims:[] ()
   in
   check_int "no communication when local" 0 (List.length stmts)
 

@@ -18,6 +18,7 @@ let contains s sub =
   with Not_found -> false
 
 let int_e n = Ast.Int_const n
+let nloc = Fd_support.Loc.none
 let myp = Ast.Var "my$p"
 
 let node_prog ?(nprocs = 2) ~arrays body =
@@ -42,8 +43,8 @@ let pingpong_prog () =
                                           Ast.Funcall ("float", [ Ast.Var "i" ])) ] };
               Node.N_send { dest = int_e 1;
                             parts = [ ("x", [ (int_e 1, int_e 4, int_e 1) ]) ];
-                            tag = 1 } ];
-          else_ = [ Node.N_recv { src = int_e 0; tag = 1 } ] } ]
+                            tag = 1; loc = nloc } ];
+          else_ = [ Node.N_recv { src = int_e 0; tag = 1; loc = nloc } ] } ]
 
 let run_with ?faults prog nprocs =
   Scheduler.run (Config.make ~nprocs ?faults ()) prog
@@ -142,7 +143,7 @@ let sched_lost_message_is_structured () =
          (fun w ->
            w.Scheduler.w_proc = 1
            && match w.Scheduler.w_on with
-              | Scheduler.On_recv { src = 0; tag = 1 } -> true
+              | Scheduler.On_recv { src = 0; tag = 1; _ } -> true
               | _ -> false)
          wf.Scheduler.waiting);
     let s = Scheduler.error_to_string (Scheduler.Deadlock wf) in
@@ -173,8 +174,8 @@ let deadlock_cycle_extracted () =
   let body =
     [ Node.N_if
         { cond = Ast.Bin (Ast.Eq, myp, int_e 0);
-          then_ = [ Node.N_recv { src = int_e 1; tag = 3 } ];
-          else_ = [ Node.N_recv { src = int_e 0; tag = 3 } ] } ]
+          then_ = [ Node.N_recv { src = int_e 1; tag = 3; loc = nloc } ];
+          else_ = [ Node.N_recv { src = int_e 0; tag = 3; loc = nloc } ] } ]
   in
   match run_with (node_prog ~arrays body) 2 with
   | _ -> Alcotest.fail "expected deadlock"
@@ -193,9 +194,9 @@ let deadlock_names_collective_sites () =
     [ Node.N_if
         { cond = Ast.Bin (Ast.Eq, myp, int_e 0);
           then_ = [ Node.N_bcast { root = int_e 0;
-                                   payload = Node.P_scalar "s"; site = 1 } ];
+                                   payload = Node.P_scalar "s"; site = 1; loc = nloc } ];
           else_ = [ Node.N_bcast { root = int_e 0;
-                                   payload = Node.P_scalar "s"; site = 2 } ] } ]
+                                   payload = Node.P_scalar "s"; site = 2; loc = nloc } ] } ]
   in
   match run_with (node_prog ~arrays body) 2 with
   | _ -> Alcotest.fail "expected deadlock"
@@ -222,9 +223,9 @@ let deadlock_mixed_recv_and_collective () =
   let body =
     [ Node.N_if
         { cond = Ast.Bin (Ast.Eq, myp, int_e 0);
-          then_ = [ Node.N_recv { src = int_e 1; tag = 4 } ];
+          then_ = [ Node.N_recv { src = int_e 1; tag = 4; loc = nloc } ];
           else_ = [ Node.N_bcast { root = int_e 1;
-                                   payload = Node.P_scalar "s"; site = 9 } ] } ]
+                                   payload = Node.P_scalar "s"; site = 9; loc = nloc } ] } ]
   in
   match run_with (node_prog ~arrays body) 2 with
   | _ -> Alcotest.fail "expected deadlock"

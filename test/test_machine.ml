@@ -10,6 +10,7 @@ let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
 let int_e n = Ast.Int_const n
+let nloc = Fd_support.Loc.none
 
 (* --- Layout ----------------------------------------------------------- *)
 
@@ -138,8 +139,8 @@ let sched_pingpong () =
                                           Ast.Funcall ("float", [ Ast.Var "i" ])) ] };
               Node.N_send { dest = int_e 1;
                             parts = [ ("x", [ (int_e 1, int_e 4, int_e 1) ]) ];
-                            tag = 1 } ];
-          else_ = [ Node.N_recv { src = int_e 0; tag = 1 } ] } ]
+                            tag = 1; loc = nloc } ];
+          else_ = [ Node.N_recv { src = int_e 0; tag = 1; loc = nloc } ] } ]
   in
   let stats, frames = run (node_prog ~arrays body) 2 in
   check_int "one message" 1 stats.Stats.messages;
@@ -160,7 +161,7 @@ let sched_recv_before_send () =
   let body =
     [ Node.N_if
         { cond = Ast.Bin (Ast.Eq, myp, int_e 1);
-          then_ = [ Node.N_recv { src = int_e 0; tag = 9 } ];
+          then_ = [ Node.N_recv { src = int_e 0; tag = 9; loc = nloc } ];
           else_ = [] };
       Node.N_if
         { cond = Ast.Bin (Ast.Eq, myp, int_e 0);
@@ -168,14 +169,14 @@ let sched_recv_before_send () =
             [ Node.N_assign (Ast.Ref ("x", [ int_e 1 ]), Ast.Real_const 5.0);
               Node.N_send { dest = int_e 1;
                             parts = [ ("x", [ (int_e 1, int_e 1, int_e 1) ]) ];
-                            tag = 9 } ];
+                            tag = 9; loc = nloc } ];
           else_ = [] } ]
   in
   let stats, _ = run (node_prog ~arrays body) 2 in
   check_int "delivered" 1 stats.Stats.messages
 
 let sched_deadlock () =
-  let body = [ Node.N_recv { src = int_e 1; tag = 3 } ] in
+  let body = [ Node.N_recv { src = int_e 1; tag = 3; loc = nloc } ] in
   let l = Layout.replicated [ (1, 2) ] in
   let arrays = [ { Node.ad_name = "x"; ad_elt = Ast.Real; ad_layout = l } ] in
   check "deadlock detected" true
@@ -193,7 +194,7 @@ let sched_bcast () =
           else_ = [] };
       Node.N_bcast
         { root = int_e 0; payload = Node.P_section ("x", [ (int_e 2, int_e 2, int_e 1) ]);
-          site = 1 } ]
+          site = 1; loc = nloc } ]
   in
   let stats, frames = run (node_prog ~nprocs:4 ~arrays body) 4 in
   check_int "one broadcast" 1 stats.Stats.bcasts;
@@ -213,9 +214,9 @@ let sched_collective_site_mismatch () =
     [ Node.N_if
         { cond = Ast.Bin (Ast.Eq, myp, int_e 0);
           then_ = [ Node.N_bcast { root = int_e 0;
-                                   payload = Node.P_scalar "s"; site = 1 } ];
+                                   payload = Node.P_scalar "s"; site = 1; loc = nloc } ];
           else_ = [ Node.N_bcast { root = int_e 0;
-                                   payload = Node.P_scalar "s"; site = 2 } ] } ]
+                                   payload = Node.P_scalar "s"; site = 2; loc = nloc } ] } ]
   in
   check "mismatched sites deadlock" true
     (match run (node_prog ~arrays body) 2 with
@@ -235,7 +236,7 @@ let sched_remap_moves_data () =
           step = None;
           body = [ Node.N_assign (Ast.Ref ("x", [ Ast.Var "i" ]),
                                   Ast.Funcall ("float", [ Ast.Var "i" ])) ] };
-      Node.N_remap { array = "x"; new_layout = cyc; move = true; site = 5 };
+      Node.N_remap { array = "x"; new_layout = cyc; move = true; site = 5; loc = nloc };
       (* after the remap every proc owns {p+1, p+5}; read them *)
       Node.N_assign (Ast.Var "v",
                      Ast.Ref ("x", [ Ast.Bin (Ast.Add, myp, int_e 1) ])) ]
@@ -256,7 +257,7 @@ let sched_mark_only_remap_moves_nothing () =
   let block = { Layout.bounds = [ (1, 8) ]; dist_dim = Some 0; dist = Layout.Block 2 } in
   let cyc = { Layout.bounds = [ (1, 8) ]; dist_dim = Some 0; dist = Layout.Cyclic } in
   let arrays = [ { Node.ad_name = "x"; ad_elt = Ast.Real; ad_layout = block } ] in
-  let body = [ Node.N_remap { array = "x"; new_layout = cyc; move = false; site = 1 } ] in
+  let body = [ Node.N_remap { array = "x"; new_layout = cyc; move = false; site = 1; loc = nloc } ] in
   let stats, _ = run (node_prog ~nprocs:4 ~arrays body) 4 in
   check_int "mark only" 1 stats.Stats.remap_marks;
   check_int "no bytes" 0 stats.Stats.remap_bytes

@@ -14,5 +14,6 @@ let () =
       ("units4", Test_units4.suite);
       ("properties", Test_properties.suite);
       ("faults", Test_faults.suite);
+      ("verify", Test_verify.suite);
       ("integration", Test_integration.suite);
     ]

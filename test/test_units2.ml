@@ -97,6 +97,7 @@ let i_short_circuit () =
 
 let sched_fifo () =
   let int_e n = Ast.Int_const n in
+  let nloc = Fd_support.Loc.none in
   let myp = Ast.Var "my$p" in
   let l = { Layout.bounds = [ (1, 4) ]; dist_dim = Some 0; dist = Layout.Block 2 } in
   let arrays = [ { Node.ad_name = "x"; ad_elt = Ast.Real; ad_layout = l } ] in
@@ -107,11 +108,11 @@ let sched_fifo () =
           then_ =
             [ Node.N_assign (Ast.Ref ("x", [ int_e 1 ]), Ast.Real_const 1.0);
               Node.N_assign (Ast.Ref ("x", [ int_e 2 ]), Ast.Real_const 2.0);
-              Node.N_send { dest = int_e 1; parts = [ ("x", [ (int_e 1, int_e 1, int_e 1) ]) ]; tag = 4 };
-              Node.N_send { dest = int_e 1; parts = [ ("x", [ (int_e 2, int_e 2, int_e 1) ]) ]; tag = 4 } ];
+              Node.N_send { dest = int_e 1; parts = [ ("x", [ (int_e 1, int_e 1, int_e 1) ]) ]; tag = 4; loc = nloc };
+              Node.N_send { dest = int_e 1; parts = [ ("x", [ (int_e 2, int_e 2, int_e 1) ]) ]; tag = 4; loc = nloc } ];
           else_ =
-            [ Node.N_recv { src = int_e 0; tag = 4 };
-              Node.N_recv { src = int_e 0; tag = 4 } ] } ]
+            [ Node.N_recv { src = int_e 0; tag = 4; loc = nloc };
+              Node.N_recv { src = int_e 0; tag = 4; loc = nloc } ] } ]
   in
   let prog =
     { Node.n_main = "m"; n_nprocs = 2;

@@ -39,11 +39,11 @@ let comm_multi_merges () =
   let need = Array.map (fun s -> Iset.inter (Iset.shift 1 s) (Iset.range 1 40)) owned in
   let single =
     Comm.emit_section_comm ~nprocs:4 ~tag:1 ~array:"a" ~owned ~dim:0 ~rank:1 ~need
-      ~other_dims:[]
+      ~other_dims:[] ()
   in
   let multi =
     Comm.emit_section_comm_multi ~nprocs:4 ~tag:1 ~owned ~dim:0 ~rank:1
-      ~parts:[ ("a", need, []); ("b", need, []) ]
+      ~parts:[ ("a", need, []); ("b", need, []) ] ()
   in
   (* same number of statements: the second array rides along *)
   check_int "one send + one recv either way" (List.length single) (List.length multi);

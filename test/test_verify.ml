@@ -1,0 +1,183 @@
+(* Differential soundness oracle for the static SPMD verifier.
+
+   For every committed example — good and bad — under every
+   communication strategy, compile once, apply any [!break:] fault
+   pragmas, then run BOTH the static verifier and the fault-free
+   simulator on the SAME node program.  Soundness: whenever the
+   simulator rejects (deadlock, invalid read, runtime fault), the
+   verifier must have reported at least one Error finding.
+   Precision: the good examples must verify with zero errors and zero
+   warnings ([--strict]-clean), and the bad examples must carry the
+   finding kinds listed in their [.expect] files. *)
+
+open Fd_core
+open Fd_machine
+open Fd_verify
+
+let check = Alcotest.check
+
+(* [dune runtest] runs in _build/default/test; [dune exec] from the
+   project root.  Both layouts carry the examples next to us. *)
+let examples_dir =
+  if Sys.file_exists "../examples" then "../examples" else "examples"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let strategies =
+  [
+    ("interproc", Options.Interproc);
+    ("immediate", Options.Immediate);
+    ("runtime", Options.Runtime_resolution);
+  ]
+
+let good_examples =
+  [
+    "fig1.fd"; "fig4.fd"; "fig15.fd"; "jacobi1d.fd"; "jacobi2d.fd";
+    "redblack.fd"; "multi_array.fd"; "dgefa.fd"; "adi_dynamic.fd";
+    "adi_static.fd";
+  ]
+
+let bad_examples =
+  [
+    "bad_tag.fd"; "bad_bounds.fd"; "bad_collective.fd"; "bad_deadsend.fd";
+    "bad_undistributed.fd"; "bad_alignless.fd";
+  ]
+
+type outcome = {
+  findings : Finding.t list;
+  dynamic_error : string option;  (* simulator rejection, if any *)
+}
+
+(* Compile [file] under [strategy], apply its fault pragmas, and face
+   the verifier and the simulator with the identical program. *)
+let face_off ~file ~strategy : outcome =
+  let path = Filename.concat examples_dir file in
+  let src = read_file path in
+  let opts = { Options.default with strategy; nprocs = 4 } in
+  let cp = Driver.check_source ~file src in
+  let compiled = Driver.compile ~opts cp in
+  let prog, failed = Break.apply compiled.Codegen.program (Break.scan src) in
+  check (Alcotest.list Alcotest.string)
+    (file ^ ": every !break: pragma applies")
+    [] failed;
+  let lint = Lint.run cp in
+  let vr = Verify.check_node ~nprocs:4 prog in
+  let findings = Finding.sort (lint @ vr.Verify.findings) in
+  let config = Driver.machine_config opts in
+  let dynamic_error =
+    match Scheduler.run config prog with
+    | _ -> None
+    | exception Scheduler.Sim_error e -> Some (Scheduler.error_to_string e)
+    | exception Fd_support.Diag.Compile_error d ->
+      Some (Fd_support.Diag.to_string d)
+  in
+  ignore (Fd_support.Diag.take_warnings ());
+  { findings; dynamic_error }
+
+let kinds sev findings =
+  List.filter_map
+    (fun f ->
+      if f.Finding.severity = sev then Some f.Finding.kind else None)
+    findings
+
+(* The oracle proper: dynamic rejection implies a static Error. *)
+let assert_sound ~file ~sname (o : outcome) =
+  match o.dynamic_error with
+  | None -> ()
+  | Some err ->
+    check Alcotest.bool
+      (Fmt.str "%s [%s]: simulator rejected (%s) so the verifier must \
+                report an error" file sname err)
+      true
+      (kinds Finding.Error o.findings <> [])
+
+let test_good_sound () =
+  List.iter
+    (fun file ->
+      List.iter
+        (fun (sname, strategy) ->
+          let o = face_off ~file ~strategy in
+          assert_sound ~file ~sname o;
+          check (Alcotest.option Alcotest.string)
+            (Fmt.str "%s [%s]: fault-free simulation is clean" file sname)
+            None o.dynamic_error;
+          check (Alcotest.list Alcotest.string)
+            (Fmt.str "%s [%s]: no static errors" file sname)
+            []
+            (kinds Finding.Error o.findings);
+          check (Alcotest.list Alcotest.string)
+            (Fmt.str "%s [%s]: no static warnings (--strict clean)" file
+               sname)
+            []
+            (kinds Finding.Warning o.findings))
+        strategies)
+    good_examples
+
+let expected_kinds file =
+  let base = Filename.remove_extension file ^ ".expect" in
+  read_file (Filename.concat (Filename.concat examples_dir "bad") base)
+  |> String.split_on_char '\n'
+  |> List.filter_map (fun l ->
+         let l = String.trim l in
+         if l = "" then None else Some l)
+
+let test_bad_flagged () =
+  List.iter
+    (fun file ->
+      let expected = expected_kinds file in
+      List.iter
+        (fun (sname, strategy) ->
+          let o = face_off ~file:(Filename.concat "bad" file) ~strategy in
+          assert_sound ~file ~sname o;
+          List.iter
+            (fun kind ->
+              check Alcotest.bool
+                (Fmt.str "%s [%s]: finding %s reported" file sname kind)
+                true
+                (List.exists (fun f -> f.Finding.kind = kind) o.findings))
+            expected)
+        strategies)
+    bad_examples
+
+(* The sabotaged programs that are supposed to die dynamically really
+   do: the [.expect] machinery must not pass vacuously. *)
+let test_bad_dynamics () =
+  let dies = [ "bad_tag.fd"; "bad_bounds.fd"; "bad_collective.fd" ] in
+  let survives =
+    [ "bad_deadsend.fd"; "bad_undistributed.fd"; "bad_alignless.fd" ]
+  in
+  List.iter
+    (fun file ->
+      let o =
+        face_off ~file:(Filename.concat "bad" file)
+          ~strategy:Options.Interproc
+      in
+      check Alcotest.bool
+        (Fmt.str "%s: simulator rejects the sabotaged program" file)
+        true
+        (o.dynamic_error <> None))
+    dies;
+  List.iter
+    (fun file ->
+      let o =
+        face_off ~file:(Filename.concat "bad" file)
+          ~strategy:Options.Interproc
+      in
+      check (Alcotest.option Alcotest.string)
+        (Fmt.str "%s: program still runs clean (lint/dead-comm only)" file)
+        None o.dynamic_error)
+    survives
+
+let suite =
+  [
+    Alcotest.test_case "good examples: sound and strict-clean" `Slow
+      test_good_sound;
+    Alcotest.test_case "bad examples: expected findings" `Slow
+      test_bad_flagged;
+    Alcotest.test_case "bad examples: dynamic ground truth" `Slow
+      test_bad_dynamics;
+  ]
