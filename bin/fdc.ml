@@ -151,17 +151,44 @@ let faults_of ?(seed = None) ~drop ~dup ~delay () =
          ~seed:(Option.value ~default:1 seed)
          ~drop ~dup ~delay:(delay *. 1e-6) ())
 
+(* Serialize a structured trace as Chrome trace_event JSON. *)
+let write_chrome_trace ~nprocs tr path =
+  let oc = open_out path in
+  output_string oc
+    (Fd_support.Json.to_string (Fd_trace.Export.chrome ~nprocs tr));
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "trace: %d events (%d dropped) -> %s@." (Fd_trace.Trace.total tr)
+    (Fd_trace.Trace.dropped tr) path
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Record a structured event trace and write it as Chrome \
+                 trace_event JSON (load in Perfetto)")
+
 let run_cmd =
-  let run file nprocs strategy remap no_coll trace no_agg json fault_seed drop
-      dup delay strict =
+  let run file nprocs strategy remap no_coll trace no_agg json trace_out
+      fault_seed drop dup delay strict =
     wrap_code ~strict (fun () ->
         let opts = opts_of ~no_agg nprocs strategy remap no_coll in
+        let tr =
+          match trace_out with
+          | Some _ -> Some (Fd_trace.Trace.create ())
+          | None -> None
+        in
         let machine =
           Fd_machine.Config.make ~nprocs ~record_trace:trace
             ?faults:(faults_of ~seed:fault_seed ~drop ~dup ~delay ())
-            ()
+            ?trace:tr ()
         in
-        let r = Fd_core.Driver.run_source ~opts ~machine ~file (read_file file) in
+        let r =
+          Fd_core.Driver.run_source ~opts ~machine ?tracer:tr ~file
+            (read_file file)
+        in
+        (match (trace_out, tr) with
+        | Some path, Some tr -> write_chrome_trace ~nprocs tr path
+        | _ -> ());
         if json then begin
           let stats_fields =
             match Fd_machine.Stats.to_json r.Fd_core.Driver.stats with
@@ -200,8 +227,90 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile, simulate and verify")
     Term.(const run $ file_arg $ nprocs_arg $ strategy_arg $ remap_arg $ collectives_arg
-          $ trace_arg $ no_agg_arg $ json_arg $ fault_seed_arg $ drop_arg $ dup_arg
-          $ delay_arg $ strict_arg)
+          $ trace_arg $ no_agg_arg $ json_arg $ trace_out_arg $ fault_seed_arg
+          $ drop_arg $ dup_arg $ delay_arg $ strict_arg)
+
+(* --- fdc trace: ensemble tracing & metrics ------------------------------ *)
+
+let trace_cmd =
+  let run file nprocs strategy remap no_coll cap out matrix summary skeleton
+      metrics strict =
+    wrap_code ~strict (fun () ->
+        let opts = opts_of nprocs strategy remap no_coll in
+        let tr = Fd_trace.Trace.create ~capacity:cap () in
+        let machine = Fd_machine.Config.make ~nprocs ~trace:tr () in
+        let r =
+          Fd_core.Driver.run_source ~opts ~machine ~tracer:tr ~file
+            (read_file file)
+        in
+        let stats = r.Fd_core.Driver.stats in
+        let default =
+          out = None && not matrix && not summary && not skeleton && not metrics
+        in
+        (match out with
+        | Some path -> write_chrome_trace ~nprocs tr path
+        | None -> ());
+        if skeleton then begin
+          Fmt.pr "# %s strategy=%s P=%d@." (Filename.basename file)
+            (Fd_core.Options.strategy_name strategy)
+            nprocs;
+          List.iter (Fmt.pr "%s@.") (Fd_trace.Export.skeleton tr)
+        end;
+        if default then Fmt.pr "%a" Fd_trace.Trace.pp tr;
+        if matrix then
+          Fmt.pr "%a" Fd_trace.Export.pp_matrix (Fd_trace.Export.matrix ~nprocs tr);
+        if summary then
+          Fmt.pr "%a" Fd_trace.Export.pp_summary
+            (Fd_trace.Export.summary ~nprocs ~busy:stats.Fd_machine.Stats.busy
+               ~elapsed:(Fd_machine.Stats.elapsed stats) tr);
+        if metrics then begin
+          let m = Fd_machine.Stats.to_metrics stats in
+          Fd_trace.Export.observe m tr;
+          Fmt.pr "%s@." (Fd_support.Json.to_string (Fd_trace.Metrics.to_json m))
+        end;
+        if Fd_core.Driver.verified r then 0 else 1)
+  in
+  let cap_arg =
+    Arg.(value & opt int Fd_trace.Trace.default_capacity
+         & info [ "cap" ] ~docv:"N"
+             ~doc:"Trace ring capacity in events; the oldest events are \
+                   overwritten beyond it")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Write the trace as Chrome trace_event JSON (load in \
+                   Perfetto or chrome://tracing)")
+  in
+  let matrix_arg =
+    Arg.(value & flag
+         & info [ "matrix" ] ~doc:"Print the per-(src,dest) communication matrix")
+  in
+  let summary_arg =
+    Arg.(value & flag
+         & info [ "summary" ]
+             ~doc:"Print per-processor sends/recvs/bytes/blocked-time/utilization")
+  in
+  let skeleton_arg =
+    Arg.(value & flag
+         & info [ "skeleton" ]
+             ~doc:"Print the normalized communication skeleton (timestamps \
+                   stripped) used by the golden-trace tests")
+  in
+  let metrics_arg =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Print the unified metrics registry (simulator counters plus \
+                   trace-derived histograms) as JSON")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Compile, simulate and export a structured event trace: Chrome \
+             trace_event JSON, communication matrix, per-processor summary, \
+             normalized skeleton, or the event timeline (default)")
+    Term.(const run $ file_arg $ nprocs_arg $ strategy_arg $ remap_arg
+          $ collectives_arg $ cap_arg $ out_arg $ matrix_arg $ summary_arg
+          $ skeleton_arg $ metrics_arg $ strict_arg)
 
 (* --- fdc oracle: the differential fault oracle -------------------------- *)
 
@@ -499,6 +608,6 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "fdc" ~doc)
-          [ ast_cmd; acg_cmd; spmd_cmd; run_cmd; check_cmd; passes_cmd; exports_cmd;
-            overlap_cmd; recompile_cmd; seq_cmd; partition_cmd; fuzz_cmd;
-            oracle_cmd ]))
+          [ ast_cmd; acg_cmd; spmd_cmd; run_cmd; trace_cmd; check_cmd; passes_cmd;
+            exports_cmd; overlap_cmd; recompile_cmd; seq_cmd; partition_cmd;
+            fuzz_cmd; oracle_cmd ]))

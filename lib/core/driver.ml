@@ -16,9 +16,9 @@ type run_result = {
 
 let check_source ?file src = Sema.check_source ?file src
 
-let compile_ctx ?(verify = false) (ctx : Pass.ctx) :
+let compile_ctx ?(verify = false) ?tracer (ctx : Pass.ctx) :
     Codegen.compiled * Pass.report =
-  let report = Pipeline.run ~verify ctx in
+  let report = Pipeline.run ~verify ?tracer ctx in
   (match Pass.violations report with
   | [] -> ()
   | (pass, msg) :: _ -> Fd_support.Diag.error "pass %s: %s" pass msg);
@@ -48,13 +48,15 @@ let run_compiled ?machine ~(opts : Options.t) ~(report : Pass.report)
   let outputs_match = Stats.outputs stats = seq.Seq_interp.outputs in
   { stats; mismatches; outputs_match; seq; compiled; report }
 
-let run ?(opts = Options.default) ?machine ?(verify = false)
+let run ?(opts = Options.default) ?machine ?(verify = false) ?tracer
     (cp : Sema.checked_program) : run_result =
-  let compiled, report = compile_ctx ~verify (Pipeline.of_checked ~opts cp) in
+  let compiled, report =
+    compile_ctx ~verify ?tracer (Pipeline.of_checked ~opts cp)
+  in
   run_compiled ?machine ~opts ~report cp compiled
 
-let run_source ?opts ?machine ?verify ?file src =
-  run ?opts ?machine ?verify (check_source ?file src)
+let run_source ?opts ?machine ?verify ?tracer ?file src =
+  run ?opts ?machine ?verify ?tracer (check_source ?file src)
 
 let verified r = r.mismatches = [] && r.outputs_match
 

@@ -19,9 +19,12 @@ type run_result = {
 
 val check_source : ?file:string -> string -> Sema.checked_program
 
-val compile_ctx : ?verify:bool -> Pass.ctx -> Codegen.compiled * Pass.report
+val compile_ctx :
+  ?verify:bool -> ?tracer:Fd_trace.Trace.t -> Pass.ctx ->
+  Codegen.compiled * Pass.report
 (** Run the whole pipeline over a context.  With [verify], the first
-    invariant violation raises {!Fd_support.Diag.Compile_error}. *)
+    invariant violation raises {!Fd_support.Diag.Compile_error}.  A
+    [tracer] receives one pass span per pipeline pass. *)
 
 val compile : ?opts:Options.t -> Sema.checked_program -> Codegen.compiled
 
@@ -32,14 +35,16 @@ val machine_config : ?machine:Config.t -> Options.t -> Config.t
 
 val run :
   ?opts:Options.t -> ?machine:Config.t -> ?verify:bool ->
-  Sema.checked_program -> run_result
+  ?tracer:Fd_trace.Trace.t -> Sema.checked_program -> run_result
 (** Compile, simulate, and compare final array contents and captured
     output against the sequential interpreter.  [verify] additionally
-    runs every pass's invariant checker during the compile. *)
+    runs every pass's invariant checker during the compile.  [tracer]
+    collects compiler pass spans; to also collect machine events, pass a
+    [machine] config whose [trace] field holds the same trace. *)
 
 val run_source :
-  ?opts:Options.t -> ?machine:Config.t -> ?verify:bool -> ?file:string ->
-  string -> run_result
+  ?opts:Options.t -> ?machine:Config.t -> ?verify:bool ->
+  ?tracer:Fd_trace.Trace.t -> ?file:string -> string -> run_result
 
 val verified : run_result -> bool
 (** No array mismatches and identical PRINT output. *)

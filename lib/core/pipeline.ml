@@ -600,17 +600,26 @@ let of_checked ?(opts = Options.default) (cp : Sema.checked_program) =
   c.checked <- Some cp;
   c
 
-let run_pass ?(verify = false) (p : Pass.t) (c : ctx) : entry =
+let run_pass ?(verify = false) ?tracer ?epoch (p : Pass.t) (c : ctx) : entry =
   let t0 = Unix.gettimeofday () in
   p.p_run c;
   let dt = Unix.gettimeofday () -. t0 in
+  (* Pass spans reuse the timing already taken for the report; [at] is
+     wall-clock relative to [epoch] (the pipeline start) so compiler
+     spans start near zero like the machine's virtual clock does. *)
+  (match tracer with
+  | Some tr ->
+    let base = match epoch with Some e -> e | None -> t0 in
+    Fd_trace.Trace.emit tr ~kind:Fd_trace.Trace.Span ~at:(t0 -. base) ~proc:(-1)
+      ~dur:dt ~label:p.p_name ()
+  | None -> ());
   let status =
     if not verify then I_not_checked
     else match p.p_verify c with [] -> I_ok | msgs -> I_violated msgs
   in
   { e_pass = p.p_name; e_time = dt; e_size = p.p_size c; e_status = status }
 
-let run ?(verify = false) ?(dump_after = [])
+let run ?(verify = false) ?tracer ?(dump_after = [])
     ?(dump = fun ~pass text -> Fmt.pr "=== after %s ===@.%s@." pass text)
     (c : ctx) : report =
   List.iter
@@ -619,9 +628,10 @@ let run ?(verify = false) ?(dump_after = [])
         Diag.error "pipeline: unknown pass %s (have: %s)" name
           (String.concat ", " pass_names))
     dump_after;
+  let epoch = Unix.gettimeofday () in
   List.map
     (fun p ->
-      let entry = run_pass ~verify p c in
+      let entry = run_pass ~verify ?tracer ~epoch p c in
       if List.mem p.p_name dump_after then
         (match p.p_dump c with
         | Some text -> dump ~pass:p.p_name text

@@ -34,6 +34,7 @@ val of_checked : ?opts:Options.t -> Fd_frontend.Sema.checked_program -> Pass.ctx
 
 val run :
   ?verify:bool ->
+  ?tracer:Fd_trace.Trace.t ->
   ?dump_after:string list ->
   ?dump:(pass:string -> string -> unit) ->
   Pass.ctx ->
@@ -43,12 +44,18 @@ val run :
     (default: off — checkers cost time).  After a pass named in
     [dump_after] completes, its rendered artifact is handed to [dump]
     (default: print to stdout).  Unknown names in [dump_after] raise
-    {!Fd_support.Diag.Compile_error}.
+    {!Fd_support.Diag.Compile_error}.  A [tracer] receives one
+    {!Fd_trace.Trace.Span} event per pass (wall-clock, relative to the
+    pipeline start), reusing the timings already taken for the report.
     @raise Fd_support.Diag.Compile_error as the underlying phases do. *)
 
-val run_pass : ?verify:bool -> Pass.t -> Pass.ctx -> Pass.entry
+val run_pass :
+  ?verify:bool -> ?tracer:Fd_trace.Trace.t -> ?epoch:float -> Pass.t ->
+  Pass.ctx -> Pass.entry
 (** Run (and optionally verify) a single pass — the building block of
-    {!run}, exposed for tests and tools that drive passes manually. *)
+    {!run}, exposed for tests and tools that drive passes manually.
+    Span timestamps are relative to [epoch] (default: the pass's own
+    start, i.e. [at = 0]). *)
 
 val report_to_json : Pass.report -> Fd_support.Json.t
 (** [{"passes": [{"name", "ms", "size", "invariants", "violations"}, ...],

@@ -16,6 +16,7 @@ type t = {
   strict_validity : bool;   (* raise on reads of non-owned, non-received data *)
   record_trace : bool;      (* record a communication-event timeline *)
   faults : Fault.t option;  (* adversarial-network plan; None = reliable *)
+  trace : Fd_trace.Trace.t option;  (* structured event sink; None = off *)
 }
 
 let ipsc860 ?(nprocs = 4) () = {
@@ -29,13 +30,14 @@ let ipsc860 ?(nprocs = 4) () = {
   strict_validity = true;
   record_trace = false;
   faults = None;
+  trace = None;
 }
 
 let make ?(alpha = 75e-6) ?(beta = 0.4e-6) ?(flop = 0.05e-6) ?(mem_op = 0.025e-6)
     ?(word_bytes = 8) ?(tree_collectives = true) ?(strict_validity = true)
-    ?(record_trace = false) ?faults ~nprocs () =
+    ?(record_trace = false) ?faults ?trace ~nprocs () =
   { nprocs; alpha; beta; flop; mem_op; word_bytes; tree_collectives;
-    strict_validity; record_trace; faults }
+    strict_validity; record_trace; faults; trace }
 
 let message_cost t bytes = t.alpha +. (t.beta *. float_of_int bytes)
 

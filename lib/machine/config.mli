@@ -21,6 +21,9 @@ type t = {
       (** deterministic adversarial-network plan (drop / duplicate /
           delay / slowdown); [None] models the perfectly reliable iPSC
           network and is byte-identical to the pre-fault simulator *)
+  trace : Fd_trace.Trace.t option;
+      (** structured event sink ({!Fd_trace.Trace}); [None] disables
+          tracing at zero cost (producers emit through one option match) *)
 }
 
 val ipsc860 : ?nprocs:int -> unit -> t
@@ -28,7 +31,8 @@ val ipsc860 : ?nprocs:int -> unit -> t
 val make :
   ?alpha:float -> ?beta:float -> ?flop:float -> ?mem_op:float ->
   ?word_bytes:int -> ?tree_collectives:bool -> ?strict_validity:bool ->
-  ?record_trace:bool -> ?faults:Fault.t -> nprocs:int -> unit -> t
+  ?record_trace:bool -> ?faults:Fault.t -> ?trace:Fd_trace.Trace.t ->
+  nprocs:int -> unit -> t
 
 val message_cost : t -> int -> float
 (** [alpha + beta * bytes]. *)

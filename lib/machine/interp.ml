@@ -46,6 +46,13 @@ let flush_ticks t =
     t.pending <- 0.0
   end
 
+let cond_mentions_myp cond =
+  let found = ref false in
+  Ast.iter_exprs_expr
+    (function Ast.Var "my$p" -> found := true | _ -> ())
+    cond;
+  !found
+
 let implicit_zero name =
   if String.length name > 0 && name.[0] >= 'i' && name.[0] <= 'n' then Value.Vint 0
   else Value.Vreal 0.0
@@ -256,7 +263,17 @@ let rec exec t (s : Node.nstmt) : unit =
     done
   | Node.N_if { cond; then_; else_ } ->
     if Value.to_bool (eval t cond) then List.iter (exec t) then_
-    else List.iter (exec t) else_
+    else begin
+      (* An owner guard is an [if] on the processor id ("my$p") with no
+         else branch; a false guard is the visible footprint of the
+         owner-computes rule, so it earns a trace event. *)
+      (match t.config.Config.trace with
+      | Some tr when else_ = [] && cond_mentions_myp cond ->
+        Fd_trace.Trace.emit tr ~kind:Fd_trace.Trace.Guard_skip
+          ~at:(t.stats.Stats.clocks.(t.proc) +. t.pending) ~proc:t.proc ()
+      | _ -> ());
+      List.iter (exec t) else_
+    end
   | Node.N_call (name, args) -> call t name args
   | Node.N_send { dest; parts; tag; _ } ->
     let d = Value.to_int (eval t dest) in

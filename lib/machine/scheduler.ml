@@ -144,6 +144,11 @@ let channel t key =
 let record t ev =
   if t.config.Config.record_trace then t.stats.Stats.trace <- ev :: t.stats.Stats.trace
 
+(* Structured-event sink (Fd_trace).  Producers go through this module
+   alias and an inline option match at each site, so a [None] trace costs
+   one load + branch and allocates nothing. *)
+module Tr = Fd_trace.Trace
+
 (* Advance processor [p]'s clock to [clock], enforcing the virtual-time
    watchdog: a runaway or livelocked run becomes a diagnosable timeout. *)
 let set_clock t p clock =
@@ -175,6 +180,11 @@ let accept_recv t p ~src ~tag (msg, arrival) =
   t.stats.Stats.max_wait <- Float.max t.stats.Stats.max_wait waited;
   record t
     (Stats.Ev_recv { at = t.stats.Stats.clocks.(p); src; dest = p; tag; waited });
+  (match t.config.Config.trace with
+  | Some tr ->
+    Tr.emit tr ~kind:Tr.Recv ~at:t.stats.Stats.clocks.(p) ~proc:p ~peer:src ~tag
+      ~seq:msg.Message.seq ~bytes:msg.Message.bytes ~dur:waited ()
+  | None -> ());
   msg
 
 let resume_recv t p src tag loc k : unit -> outcome =
@@ -197,7 +207,12 @@ let insert_arrival t (msg : Message.t) arrival =
     t.stats.Stats.duplicates_dropped <- t.stats.Stats.duplicates_dropped + 1;
     record t
       (Stats.Ev_fault
-         { at = arrival; src; dest; tag; seq = msg.Message.seq; kind = "duplicate" })
+         { at = arrival; src; dest; tag; seq = msg.Message.seq; kind = "duplicate" });
+    match t.config.Config.trace with
+    | Some tr ->
+      Tr.emit tr ~kind:Tr.Dedup ~at:arrival ~proc:dest ~peer:src ~tag
+        ~seq:msg.Message.seq ()
+    | None -> ()
   end
   else begin
     Hashtbl.replace ch.pending msg.Message.seq (msg, arrival);
@@ -205,6 +220,11 @@ let insert_arrival t (msg : Message.t) arrival =
       match Hashtbl.find_opt t.parked dest with
       | Some (src', tag', loc', krecv) when src' = src && tag' = tag ->
         Hashtbl.remove t.parked dest;
+        (match t.config.Config.trace with
+        | Some tr ->
+          Tr.emit tr ~kind:Tr.Wake ~at:arrival ~proc:dest ~peer:src ~tag
+            ~seq:msg.Message.seq ()
+        | None -> ());
         Queue.add (dest, resume_recv t dest src' tag' loc' krecv) t.runq
       | _ -> ()
   end
@@ -231,6 +251,11 @@ let transmit t p (msg : Message.t) =
        { at = t.stats.Stats.clocks.(p); src = msg.Message.src;
          dest = msg.Message.dest; tag = msg.Message.tag;
          bytes = msg.Message.bytes });
+  (match t.config.Config.trace with
+  | Some tr ->
+    Tr.emit tr ~kind:Tr.Send ~at:t.stats.Stats.clocks.(p) ~proc:msg.Message.src
+      ~peer:msg.Message.dest ~tag:msg.Message.tag ~seq ~bytes:msg.Message.bytes ()
+  | None -> ());
   match t.config.Config.faults with
   | None -> insert_arrival t msg base_arrival
   | Some plan ->
@@ -241,11 +266,17 @@ let transmit t p (msg : Message.t) =
     in
     t.stats.Stats.faults_injected <- t.stats.Stats.faults_injected + d.Fault.injected;
     t.stats.Stats.retransmits <- t.stats.Stats.retransmits + (d.Fault.attempts - 1);
-    if d.Fault.attempts > 1 then
+    if d.Fault.attempts > 1 then begin
       record t
         (Stats.Ev_fault
            { at = base_arrival; src = msg.Message.src; dest = msg.Message.dest;
              tag = msg.Message.tag; seq; kind = "retransmit" });
+      match t.config.Config.trace with
+      | Some tr ->
+        Tr.emit tr ~kind:Tr.Retransmit ~at:base_arrival ~proc:msg.Message.src
+          ~peer:msg.Message.dest ~tag:msg.Message.tag ~seq ()
+      | None -> ()
+    end;
     if d.Fault.lost then begin
       t.stats.Stats.messages_lost <- t.stats.Stats.messages_lost + 1;
       t.lost <-
@@ -255,16 +286,27 @@ let transmit t p (msg : Message.t) =
       record t
         (Stats.Ev_fault
            { at = base_arrival; src = msg.Message.src; dest = msg.Message.dest;
-             tag = msg.Message.tag; seq; kind = "lost" })
+             tag = msg.Message.tag; seq; kind = "lost" });
+      match t.config.Config.trace with
+      | Some tr ->
+        Tr.emit tr ~kind:Tr.Lost ~at:base_arrival ~proc:msg.Message.src
+          ~peer:msg.Message.dest ~tag:msg.Message.tag ~seq ()
+      | None -> ()
     end
     else begin
       t.stats.Stats.fault_delay <- t.stats.Stats.fault_delay +. d.Fault.added_delay;
       let arrival = base_arrival +. d.Fault.added_delay in
-      if d.Fault.added_delay > 0.0 && d.Fault.attempts = 1 then
+      if d.Fault.added_delay > 0.0 && d.Fault.attempts = 1 then begin
         record t
           (Stats.Ev_fault
              { at = arrival; src = msg.Message.src; dest = msg.Message.dest;
                tag = msg.Message.tag; seq; kind = "delayed" });
+        match t.config.Config.trace with
+        | Some tr ->
+          Tr.emit tr ~kind:Tr.Delay ~at:arrival ~proc:msg.Message.src
+            ~peer:msg.Message.dest ~tag:msg.Message.tag ~seq ()
+        | None -> ()
+      end;
       insert_arrival t msg arrival;
       if d.Fault.duplicated then
         (* the duplicate trails the original by one startup cost and is
@@ -314,7 +356,11 @@ let run_proc t (p : int) (f : unit -> Interp.frame) : outcome =
 
 let word_bytes t = t.config.Config.word_bytes
 
-let perform_bcast t
+let coll_label = function
+  | Eff.Coll_bcast { label; _ } -> "broadcast " ^ label
+  | Eff.Coll_remap { obj; _ } -> "remap " ^ obj.Storage.name
+
+let perform_bcast t ~site
     (parts : (int * Eff.coll_op * Loc.t * (unit, outcome) continuation) list) =
   let root, elems =
     match
@@ -338,16 +384,26 @@ let perform_bcast t
   t.stats.Stats.bcasts <- t.stats.Stats.bcasts + 1;
   t.stats.Stats.bcast_bytes <- t.stats.Stats.bcast_bytes + bytes;
   record t (Stats.Ev_bcast { at = tmax +. cost; root; bytes; site = 0 });
+  let release = tmax +. cost in
   List.iter
     (fun (p, op, _, _) ->
-      set_clock t p (tmax +. cost);
+      let entered = t.stats.Stats.clocks.(p) in
+      (match t.config.Config.trace with
+      | Some tr ->
+        let label = coll_label op in
+        Tr.emit tr ~kind:Tr.Coll_enter ~at:entered ~proc:p ~tag:site
+          ~dur:(release -. entered) ~label ();
+        Tr.emit tr ~kind:Tr.Coll_exit ~at:release ~proc:p ~peer:root ~tag:site
+          ~bytes ~label ()
+      | None -> ());
+      set_clock t p release;
       match op with
       | Eff.Coll_bcast { write; _ } -> if p <> root then write elems
       | Eff.Coll_remap _ ->
         raise (Sim_error (Runtime_error "mixed collective at one site")))
     parts
 
-let perform_remap t
+let perform_remap t ~site
     (parts : (int * Eff.coll_op * Loc.t * (unit, outcome) continuation) list) =
   let nprocs = t.config.Config.nprocs in
   let objs = Array.make nprocs None in
@@ -408,7 +464,10 @@ let perform_remap t
             moves := (r, Array.copy idx, v) :: !moves;
             sent.(old_owner) <- sent.(old_owner) + word_bytes t;
             received.(r) <- received.(r) + word_bytes t;
-            Hashtbl.replace partners (old_owner, r) ()
+            let prev =
+              Option.value ~default:0 (Hashtbl.find_opt partners (old_owner, r))
+            in
+            Hashtbl.replace partners (old_owner, r) (prev + word_bytes t)
           end
         done);
   (* switch layouts everywhere (resets validity to new ownership) *)
@@ -432,7 +491,7 @@ let perform_remap t
   in
   let npairs = Array.make nprocs 0 in
   Hashtbl.iter
-    (fun (q, r) () ->
+    (fun (q, r) _bytes ->
       npairs.(q) <- npairs.(q) + 1;
       npairs.(r) <- npairs.(r) + 1)
     partners;
@@ -446,6 +505,18 @@ let perform_remap t
     (Stats.Ev_remap
        { at = tmax; array = obj0.Storage.name; moved_bytes = total_bytes;
          mark_only = not !move });
+  (match t.config.Config.trace with
+  | Some tr ->
+    (* Hashtbl iteration order is unspecified: sort the partner pairs so
+       traces are deterministic run-to-run. *)
+    let pairs = Hashtbl.fold (fun k b acc -> (k, b) :: acc) partners [] in
+    List.iter
+      (fun ((q, r), bytes) ->
+        Tr.emit tr ~kind:Tr.Remap ~at:tmax ~proc:q ~peer:r ~tag:site ~bytes
+          ~label:obj0.Storage.name ())
+      (List.sort compare pairs)
+  | None -> ());
+  let label = "remap " ^ obj0.Storage.name in
   List.iter
     (fun (p, _, _, _) ->
       let cost =
@@ -454,12 +525,17 @@ let perform_remap t
           +. (t.config.Config.beta *. float_of_int (sent.(p) + received.(p)))
         else 0.0
       in
-      set_clock t p (tmax +. cost))
+      let entered = t.stats.Stats.clocks.(p) in
+      let release = tmax +. cost in
+      (match t.config.Config.trace with
+      | Some tr ->
+        Tr.emit tr ~kind:Tr.Coll_enter ~at:entered ~proc:p ~tag:site
+          ~dur:(release -. entered) ~label ();
+        Tr.emit tr ~kind:Tr.Coll_exit ~at:release ~proc:p ~tag:site
+          ~bytes:(sent.(p) + received.(p)) ~label ()
+      | None -> ());
+      set_clock t p release)
     parts
-
-let coll_label = function
-  | Eff.Coll_bcast { label; _ } -> "broadcast " ^ label
-  | Eff.Coll_remap { obj; _ } -> "remap " ^ obj.Storage.name
 
 let perform_collective t site =
   match Hashtbl.find_opt t.colls site with
@@ -468,8 +544,8 @@ let perform_collective t site =
     let parts = List.rev !parts_ref in
     Hashtbl.remove t.colls site;
     (match parts with
-    | (_, Eff.Coll_bcast _, _, _) :: _ -> perform_bcast t parts
-    | (_, Eff.Coll_remap _, _, _) :: _ -> perform_remap t parts
+    | (_, Eff.Coll_bcast _, _, _) :: _ -> perform_bcast t ~site parts
+    | (_, Eff.Coll_remap _, _, _) :: _ -> perform_remap t ~site parts
     | [] -> ());
     List.iter
       (fun (p, _, _, k) -> Queue.add (p, fun () -> continue k ()) t.runq)
@@ -566,7 +642,14 @@ let run (config : Config.t) (prog : Node.program) : Stats.t * Interp.frame array
          let ch = channel t (src, p, tag) in
          if Hashtbl.mem ch.pending ch.deliver_seq then
            Queue.add (p, resume_recv t p src tag loc k) t.runq
-         else Hashtbl.replace t.parked p (src, tag, loc, k)
+         else begin
+           (match t.config.Config.trace with
+           | Some tr ->
+             Tr.emit tr ~kind:Tr.Block ~at:t.stats.Stats.clocks.(p) ~proc:p
+               ~peer:src ~tag ()
+           | None -> ());
+           Hashtbl.replace t.parked p (src, tag, loc, k)
+         end
        | O_blocked_coll { site; op; loc; k } ->
          let members =
            match Hashtbl.find_opt t.colls site with

@@ -94,6 +94,36 @@ let to_json t : Fd_support.Json.t =
       ("busy", farr t.busy);
       ("outputs", List (List.map (fun s -> Fd_support.Json.Str s) (outputs t))) ]
 
+(* One metrics registry per run: the same counters [to_json] reports,
+   published through the Fd_trace.Metrics registry so simulator
+   statistics, trace-derived histograms, and tool counters share one
+   serialization. *)
+let to_metrics t : Fd_trace.Metrics.t =
+  let m = Fd_trace.Metrics.create () in
+  let c name v = Fd_trace.Metrics.set_counter (Fd_trace.Metrics.counter m name) v in
+  let g name v = Fd_trace.Metrics.set (Fd_trace.Metrics.gauge m name) v in
+  c "nprocs" t.nprocs;
+  c "messages" t.messages;
+  c "message_bytes" t.message_bytes;
+  c "bcasts" t.bcasts;
+  c "bcast_bytes" t.bcast_bytes;
+  c "remaps" t.remaps;
+  c "remap_marks" t.remap_marks;
+  c "remap_bytes" t.remap_bytes;
+  c "flops" t.flops;
+  c "mem_ops" t.mem_ops;
+  c "comm_ops" (comm_ops t);
+  c "faults_injected" t.faults_injected;
+  c "retransmits" t.retransmits;
+  c "duplicates_dropped" t.duplicates_dropped;
+  c "messages_lost" t.messages_lost;
+  c "watchdog_fired" (if t.watchdog_fired then 1 else 0);
+  g "elapsed_seconds" (elapsed t);
+  g "busy_seconds" (total_busy t);
+  g "max_wait_seconds" t.max_wait;
+  g "fault_delay_seconds" t.fault_delay;
+  m
+
 let pp ppf t =
   Fmt.pf ppf
     "@[<v>elapsed %.3f ms on %d procs@ messages: %d (%d bytes), broadcasts: %d (%d bytes)@ remaps: %d physical (%d bytes) + %d mark-only@ flops: %d, memory ops: %d"

@@ -62,6 +62,12 @@ val to_json : t -> Fd_support.Json.t
     [clocks]/[busy] and captured outputs — the canonical serialization
     used by [fdc run --json] and the bench scrapers. *)
 
+val to_metrics : t -> Fd_trace.Metrics.t
+(** The same counters as {!to_json}, published through the
+    {!Fd_trace.Metrics} registry (counters for totals, gauges for
+    times), so simulator statistics and trace-derived histograms share
+    one serialization. *)
+
 val pp_event : Format.formatter -> event -> unit
 
 val pp : Format.formatter -> t -> unit

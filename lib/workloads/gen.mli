@@ -17,6 +17,9 @@ and op =
   | Op_axpy of int
   | Op_scale
   | Op_guarded of int
+  | Op_multi of int
+      (** [c(i) = a(i+s) + b(i); a(i) = 0.5*c(i)]: three arrays in one
+          statement chain *)
 
 val random_spec : ?max_ops:int -> Random.State.t -> spec
 
@@ -31,6 +34,8 @@ type spec2d = {
   g2_dist : string;
   g2_shifts : (int * int) list;
   g2_in_subroutines : bool;
+  g2_multi : bool;
+      (** add a third aligned array and a three-array sweep to the body *)
 }
 
 val random_spec2d : Random.State.t -> spec2d

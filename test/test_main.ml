@@ -15,5 +15,6 @@ let () =
       ("properties", Test_properties.suite);
       ("faults", Test_faults.suite);
       ("verify", Test_verify.suite);
+      ("trace", Test_trace.suite);
       ("integration", Test_integration.suite);
     ]
