@@ -426,9 +426,9 @@ let e13 () =
   let n = if quick then 16 else 64 in
   header
     (Fmt.str "E13: static verification (fdc check) vs full simulation (dgefa n=%d)" n);
-  Fmt.pr "%4s | %10s | %7s | %7s | %8s | %12s | %8s@." "P" "check (ms)"
+  Fmt.pr "%6s | %10s | %7s | %7s | %8s | %12s | %8s@." "P" "check (ms)"
     "visits" "events" "findings" "simulate(ms)" "ratio";
-  Fmt.pr "-----+------------+---------+---------+----------+--------------+---------@.";
+  Fmt.pr "-------+------------+---------+---------+----------+--------------+---------@.";
   let src = Fd_workloads.Dgefa.source ~n () in
   let cp = Driver.check_source src in
   List.iter
@@ -442,19 +442,28 @@ let e13 () =
         List.length (Fd_verify.Finding.errors vr.Fd_verify.Verify.findings)
       in
       if errors > 0 then failwith "E13: static errors on a correct program";
-      let config = Driver.machine_config opts in
-      let t1 = Unix.gettimeofday () in
-      let _stats, _frames = Scheduler.run config compiled.Codegen.program in
-      let t_sim = (Unix.gettimeofday () -. t1) *. 1e3 in
-      Fmt.pr "%4d | %10.3f | %7d | %7d | %8d | %12.3f | %7.1fx@." p t_check
-        vr.Fd_verify.Verify.visits vr.Fd_verify.Verify.events
-        (List.length vr.Fd_verify.Verify.findings) t_sim
-        (t_sim /. Float.max t_check 1e-6))
-    (if quick then [ 4; 16 ] else [ 4; 16; 64 ]);
+      (* simulation cost is linear in P; past 64 procs on this kernel
+         the row exists to show the check column staying flat *)
+      if p <= 64 then begin
+        let config = Driver.machine_config opts in
+        let t1 = Unix.gettimeofday () in
+        let _stats, _frames = Scheduler.run config compiled.Codegen.program in
+        let t_sim = (Unix.gettimeofday () -. t1) *. 1e3 in
+        Fmt.pr "%6d | %10.3f | %7d | %7d | %8d | %12.3f | %7.1fx@." p t_check
+          vr.Fd_verify.Verify.visits vr.Fd_verify.Verify.events
+          (List.length vr.Fd_verify.Verify.findings) t_sim
+          (t_sim /. Float.max t_check 1e-6)
+      end
+      else
+        Fmt.pr "%6d | %10.3f | %7d | %7d | %8d | %12s | %8s@." p t_check
+          vr.Fd_verify.Verify.visits vr.Fd_verify.Verify.events
+          (List.length vr.Fd_verify.Verify.findings) "-" "-")
+    (if quick then [ 4; 64; 1024 ] else [ 4; 64; 1024; 65536 ]);
   Fmt.pr
-    "(check walks all P processors abstractly and replays the event@.\
-    \ skeleton; simulate is the wall-clock cost of the full fault-free@.\
-    \ virtual-time simulation of the same node program)@."
+    "(check walks all P processors abstractly over the compressed lane@.\
+    \ domain and replays the interval skeleton; simulate is the@.\
+    \ wall-clock cost of the full fault-free virtual-time simulation of@.\
+    \ the same node program, omitted past P=64 where it is minutes)@."
 
 (* --- E14: tracing overhead - ring buffer on vs off ---------------------------- *)
 

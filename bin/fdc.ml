@@ -459,7 +459,9 @@ let check_cmd =
     (Cmd.info "check"
        ~doc:"Statically verify the compiled SPMD communication (send/recv \
              matching, collective congruence, payload bounds) and lint the \
-             Fortran D source, without running the simulator")
+             Fortran D source, without running the simulator. The ensemble \
+             is analyzed symbolically per interval of processors, so large \
+             -p (65536 and beyond) costs the same as -p 4")
     Term.(const run $ file_arg $ nprocs_arg $ strategy_arg $ remap_arg
           $ collectives_arg $ json_arg $ strict_arg)
 

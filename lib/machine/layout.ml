@@ -30,34 +30,37 @@ let block_size_for ~nprocs (lo, hi) = (extent (lo, hi) + nprocs - 1) / nprocs
 (* Per-processor owned global indices in the distributed dimension.  For
    replicated layouts every processor owns the full extent of dimension 0
    (the choice of dimension is immaterial). *)
-let owned t ~nprocs : Iset.t array =
+(* One processor's owned set, computed on demand.  [owned t ~nprocs] is
+   [Array.init nprocs (owned_one t ~nprocs)] but the array form costs
+   O(P) per call — the compressed verifier (P up to 65536) asks for
+   single lanes and parametric descriptions instead. *)
+let owned_one t ~nprocs p =
   match t.dist_dim with
   | None ->
     let lo, hi = List.nth t.bounds 0 in
-    Array.make nprocs (Iset.range lo hi)
+    Iset.range lo hi
   | Some d ->
     let lo, hi = dim_bounds t d in
     (match t.dist with
-    | Replicated -> Array.make nprocs (Iset.range lo hi)
+    | Replicated -> Iset.range lo hi
     | Block b ->
-      Array.init nprocs (fun p ->
-          let plo = lo + (p * b) and phi = min hi (lo + ((p + 1) * b) - 1) in
-          if phi < plo then Iset.empty
-          else Iset.of_triplet (Triplet.make ~lo:plo ~hi:phi ~step:1))
+      let plo = lo + (p * b) and phi = min hi (lo + ((p + 1) * b) - 1) in
+      if phi < plo then Iset.empty
+      else Iset.of_triplet (Triplet.make ~lo:plo ~hi:phi ~step:1)
     | Cyclic ->
-      Array.init nprocs (fun p ->
-          if lo + p > hi then Iset.empty
-          else Iset.of_triplet (Triplet.make ~lo:(lo + p) ~hi ~step:nprocs))
+      if lo + p > hi then Iset.empty
+      else Iset.of_triplet (Triplet.make ~lo:(lo + p) ~hi ~step:nprocs)
     | Block_cyclic b ->
-      Array.init nprocs (fun p ->
-          let sets = ref Iset.empty in
-          let blk = ref (lo + (p * b)) in
-          while !blk <= hi do
-            let bhi = min hi (!blk + b - 1) in
-            sets := Iset.union !sets (Iset.range !blk bhi);
-            blk := !blk + (nprocs * b)
-          done;
-          !sets))
+      let sets = ref Iset.empty in
+      let blk = ref (lo + (p * b)) in
+      while !blk <= hi do
+        let bhi = min hi (!blk + b - 1) in
+        sets := Iset.union !sets (Iset.range !blk bhi);
+        blk := !blk + (nprocs * b)
+      done;
+      !sets)
+
+let owned t ~nprocs : Iset.t array = Array.init nprocs (owned_one t ~nprocs)
 
 (* Owner of global index [g] in the distributed dimension; 0 when the
    array is replicated (every processor owns it; caller should check). *)

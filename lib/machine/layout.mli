@@ -29,6 +29,10 @@ val owned : t -> nprocs:int -> Iset.t array
     full extent everywhere when replicated).  The sets partition the
     extent (property-tested). *)
 
+val owned_one : t -> nprocs:int -> int -> Iset.t
+(** One processor's owned set: [owned_one t ~nprocs p = (owned t ~nprocs).(p)]
+    without the O(P) array. *)
+
 val owner_of : t -> nprocs:int -> int -> int
 (** Owner of a global index in the distributed dimension. *)
 

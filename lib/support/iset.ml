@@ -1,7 +1,13 @@
 (* Finite integer sets, canonically represented as a sorted list of
    disjoint maximal triplets.  Sets in this compiler are index and
-   iteration sets bounded by array extents, so exact element-level
-   canonicalization is affordable and keeps every operation precise. *)
+   iteration sets bounded by array extents — plus, since the compressed
+   verifier domain, processor-id sets bounded by P.  Contiguous ("flat",
+   all step-1) sets are the overwhelmingly common case and all core
+   operations take an interval-sweep fast path on them that never
+   materializes elements, so a mask like {0..65535} costs O(#intervals),
+   not O(P).  Strided triplets fall back to exact element-level
+   canonicalization, which stays affordable because strided sets only
+   arise from array extents (cyclic layouts), never from masks. *)
 
 module IS = Set.Make (Int)
 
@@ -40,33 +46,144 @@ let count t = List.fold_left (fun acc tr -> acc + Triplet.count tr) 0 t
 
 let to_list t = List.concat_map Triplet.to_list t
 
+(* --- interval (step-1) machinery -------------------------------------- *)
+
+(* A triplet is interval-like when its members are contiguous. *)
+let tr_flat tr =
+  Triplet.is_empty tr || Triplet.step tr = 1 || Triplet.count tr = 1
+
+let flat t = List.for_all tr_flat t
+
+(* Sorted disjoint maximal (lo, hi) intervals of the set.  Strided
+   triplets are expanded (they are small by construction). *)
+let intervals t : (int * int) list =
+  let raw =
+    List.concat_map
+      (fun tr ->
+        if Triplet.is_empty tr then []
+        else if tr_flat tr then [ (Triplet.lo tr, Triplet.hi tr) ]
+        else List.map (fun x -> (x, x)) (Triplet.to_list tr))
+      t
+  in
+  let sorted = List.sort compare raw in
+  let rec coalesce = function
+    | (a, b) :: (c, d) :: rest when c <= b + 1 ->
+      coalesce ((a, max b d) :: rest)
+    | iv :: rest -> iv :: coalesce rest
+    | [] -> []
+  in
+  coalesce sorted
+
+(* Rebuild a canonical set from (possibly unsorted, overlapping)
+   intervals.  Small results are re-canonicalized through the exact
+   element path so strided merges ({2,4,6} -> 2:6:2) print identically
+   to the historical representation; large results stay flat. *)
+let of_intervals ivs : t =
+  let ivs = List.filter (fun (a, b) -> a <= b) ivs in
+  let sorted = List.sort compare ivs in
+  let rec coalesce = function
+    | (a, b) :: (c, d) :: rest when c <= b + 1 ->
+      coalesce ((a, max b d) :: rest)
+    | iv :: rest -> iv :: coalesce rest
+    | [] -> []
+  in
+  let merged = coalesce sorted in
+  let t = List.map (fun (a, b) -> Triplet.make ~lo:a ~hi:b ~step:1) merged in
+  let n = List.fold_left (fun acc (a, b) -> acc + (b - a + 1)) 0 merged in
+  if n > 0 && n <= 256 then canonicalize t else t
+
+let ivs_inter a b =
+  let rec go a b =
+    match (a, b) with
+    | [], _ | _, [] -> []
+    | (a1, a2) :: ra, (b1, b2) :: rb ->
+      let lo = max a1 b1 and hi = min a2 b2 in
+      let rest = if a2 < b2 then go ra b else go a rb in
+      if lo <= hi then (lo, hi) :: rest else rest
+  in
+  go a b
+
+let ivs_diff a b =
+  let rec go a b =
+    match (a, b) with
+    | [], _ -> []
+    | a, [] -> a
+    | (a1, a2) :: ra, (b1, b2) :: rb ->
+      if b2 < a1 then go a rb
+      else if a2 < b1 then (a1, a2) :: go ra b
+      else
+        let left = if a1 < b1 then [ (a1, b1 - 1) ] else [] in
+        if a2 > b2 then left @ go ((b2 + 1, a2) :: ra) rb else left @ go ra b
+  in
+  go a b
+
+let ivs_subset a b =
+  let rec go a b =
+    match (a, b) with
+    | [], _ -> true
+    | _ :: _, [] -> false
+    | (a1, a2) :: ra, (b1, b2) :: rb ->
+      if b2 < a1 then go a rb
+      else if b1 <= a1 && a2 <= b2 then go ra b
+      else false
+  in
+  go a b
+
+(* --- set algebra ------------------------------------------------------- *)
+
 let union a b =
   match (a, b) with
   | [], t | t, [] -> t
-  | _ -> of_intset (IS.union (to_intset a) (to_intset b))
+  | _ ->
+    if flat a && flat b then of_intervals (intervals a @ intervals b)
+    else of_intset (IS.union (to_intset a) (to_intset b))
 
 let inter a b =
   match (a, b) with
   | [], _ | _, [] -> []
   | [ x ], [ y ] -> of_triplet (Triplet.inter x y)
-  | _ -> of_intset (IS.inter (to_intset a) (to_intset b))
+  | _ ->
+    if flat a && flat b then of_intervals (ivs_inter (intervals a) (intervals b))
+    else
+      (* Distribute: (U ai) n (U bj) = U (ai n bj), each exact.  Never
+         materializes the operands, only the (smaller) result. *)
+      of_triplets
+        (List.concat_map (fun x -> List.map (Triplet.inter x) b) a)
 
 let diff a b =
   match (a, b) with
   | [], _ -> []
   | t, [] -> t
-  | [ x ], [ y ] when Triplet.step y = 1 -> of_triplets (Triplet.diff x y)
-  | _ -> of_intset (IS.diff (to_intset a) (to_intset b))
+  | _ ->
+    if flat a && flat b then of_intervals (ivs_diff (intervals a) (intervals b))
+    else (
+      match (a, b) with
+      | [ x ], [ y ] when Triplet.step y = 1 -> of_triplets (Triplet.diff x y)
+      | _ -> of_intset (IS.diff (to_intset a) (to_intset b)))
 
-let equal a b = IS.equal (to_intset a) (to_intset b)
+let equal a b =
+  if flat a && flat b then intervals a = intervals b
+  else IS.equal (to_intset a) (to_intset b)
 
-let subset a b = IS.subset (to_intset a) (to_intset b)
+let subset a b =
+  if is_empty a then true
+  else if is_empty b then false
+  else if flat a && flat b then ivs_subset (intervals a) (intervals b)
+  else IS.subset (to_intset a) (to_intset b)
 
 let disjoint a b = is_empty (inter a b)
+
+(* [complement ~lo ~hi t]: the members of [lo, hi] not in [t]. *)
+let complement ~lo ~hi t =
+  if lo > hi then []
+  else of_intervals (ivs_diff [ (lo, hi) ] (intervals t))
 
 let shift d t = List.map (Triplet.shift d) t
 
 let triplets t = t
+
+let fold_intervals f acc t =
+  List.fold_left (fun acc (lo, hi) -> f acc lo hi) acc (intervals t)
 
 let min_elt t =
   List.fold_left

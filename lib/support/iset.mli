@@ -1,7 +1,12 @@
 (** Finite integer sets as canonical sorted lists of disjoint triplets.
 
-    All operations are exact; sets are index/iteration sets bounded by
-    array extents, so element-level canonicalization is affordable. *)
+    All operations are exact.  Sets are index/iteration sets bounded by
+    array extents and — since the compressed verifier domain — processor
+    masks bounded by P.  Contiguous (all step-1) operands take an
+    interval-sweep fast path that never materializes elements, so
+    {0..65535} costs O(#intervals); strided operands fall back to exact
+    element-level canonicalization, affordable because strided sets only
+    arise from array extents. *)
 
 type t = Triplet.t list
 
@@ -23,8 +28,22 @@ val subset : t -> t -> bool
 val disjoint : t -> t -> bool
 val shift : int -> t -> t
 
+val complement : lo:int -> hi:int -> t -> t
+(** [complement ~lo ~hi t] is the members of [lo, hi] not in [t]. *)
+
 val triplets : t -> Triplet.t list
 (** The canonical triplet decomposition. *)
+
+val intervals : t -> (int * int) list
+(** Sorted disjoint maximal [(lo, hi)] intervals covering the set
+    (strided triplets are expanded). *)
+
+val of_intervals : (int * int) list -> t
+(** Build a set from (possibly unsorted, overlapping) inclusive
+    intervals; pairs with [lo > hi] are ignored. *)
+
+val fold_intervals : ('a -> int -> int -> 'a) -> 'a -> t -> 'a
+(** Fold over {!intervals} without building the intermediate list. *)
 
 val min_elt : t -> int option
 val max_elt : t -> int option

@@ -1,23 +1,33 @@
 (* Abstract interpreter over SPMD node programs: a single vectorized
    walk simulates all P processors at once over one shared environment
-   (P per-processor values in each scalar cell — Absdom.t), erasing
-   computation and keeping communication.
+   (one compressed Absdom.t per scalar cell — uniform, affine-in-pid or
+   run-length segments, never a dense P-vector), erasing computation
+   and keeping communication.
 
    The walk produces:
-   - a stream of Skeleton.events (sends, recvs, collectives) in
-     per-processor program order, replayed by Skeleton.run;
+   - a stream of Skeleton.events (sends, recvs, collectives), each
+     covering a contiguous *interval* of processors whose communication
+     differs only affinely in the pid, replayed by Skeleton.run;
    - walk-time findings: collectives reached by only part of the
      ensemble (the static form of the scheduler's collective-mismatch
      deadlock), out-of-bounds or malformed sections, empty sends;
-   - the active-processor mask threading: a decidable branch on my$p
-     splits the mask, RETURN clears it, collectives check it.
+   - the active-processor mask threading: masks are Iset.t pid sets, a
+     decidable branch on my$p splits the mask, RETURN clears it,
+     collectives check it.
 
    Control flow the domain cannot decide is walked once as an
    *unverifiable region*: scalar updates become weak (joins), the
    region's communication is matched in isolation (degraded to Info)
    and its tags are excluded from hard deadlock verdicts.  A branch
    that is unknown-but-uniform stays congruence-safe; only
-   processor-divergent unknowns demote collective verification. *)
+   processor-divergent unknowns demote collective verification.
+
+   Emission discipline: per-processor quantities at a communication
+   statement (message endpoint, section bounds) are chunked together by
+   Absdom.align_many; a chunk where everything is affine in the pid
+   becomes ONE event spanning the chunk.  Chunks with exotic shapes
+   (processor-dependent section steps) fall back to per-pid emission,
+   which reproduces the dense walk exactly. *)
 
 open Fd_support
 open Fd_frontend
@@ -30,7 +40,6 @@ type aobj = {
   a_name : string;
   a_bounds : (int * int) list;
   mutable a_layout : Layout.t;
-  mutable a_owned : Iset.t array;  (* per processor, distributed dim *)
 }
 
 type binding = Bscalar of Absdom.t ref | Barray of aobj
@@ -121,15 +130,29 @@ let array_obj w name =
   | Barray o -> o
   | Bscalar _ -> raise (Stuck (Fmt.str "scalar %s used as an array" name))
 
-let alloc_aobj ~nprocs (ad : Node.array_decl) =
+let alloc_aobj (ad : Node.array_decl) =
   {
     a_name = ad.Node.ad_name;
     a_bounds = ad.Node.ad_layout.Layout.bounds;
     a_layout = ad.Node.ad_layout;
-    a_owned = Layout.owned ad.Node.ad_layout ~nprocs;
   }
 
 (* --- expressions ------------------------------------------------------ *)
+
+let binop_of : Ast.binop -> Absdom.binop = function
+  | Ast.Add -> Absdom.Add
+  | Ast.Sub -> Absdom.Sub
+  | Ast.Mul -> Absdom.Mul
+  | Ast.Div -> Absdom.Div
+  | Ast.Pow -> Absdom.Pow
+  | Ast.Eq -> Absdom.Eq
+  | Ast.Ne -> Absdom.Ne
+  | Ast.Lt -> Absdom.Lt
+  | Ast.Le -> Absdom.Le
+  | Ast.Gt -> Absdom.Gt
+  | Ast.Ge -> Absdom.Ge
+  | Ast.And -> Absdom.And
+  | Ast.Or -> Absdom.Or
 
 let rec eval w (e : Ast.expr) : Absdom.t =
   let n = w.n in
@@ -146,76 +169,68 @@ let rec eval w (e : Ast.expr) : Absdom.t =
        processor-consistent (DESIGN.md 6c) *)
     ignore (array_obj w name);
     Absdom.unknown
-  | Ast.Bin (op, a, b) -> (
-    let va = eval w a and vb = eval w b in
-    let m2 = Absdom.map2 n in
-    match op with
-    | Ast.Add -> m2 Absdom.add va vb
-    | Ast.Sub -> m2 Absdom.sub va vb
-    | Ast.Mul -> m2 Absdom.mul va vb
-    | Ast.Div -> m2 Absdom.div va vb
-    | Ast.Pow -> m2 Absdom.pow va vb
-    | Ast.Eq -> m2 Absdom.eq va vb
-    | Ast.Ne -> m2 (fun x y -> Absdom.not_ (Absdom.eq x y)) va vb
-    | Ast.Lt -> m2 (Absdom.cmp_to ( < )) va vb
-    | Ast.Le -> m2 (Absdom.cmp_to ( <= )) va vb
-    | Ast.Gt -> m2 (Absdom.cmp_to ( > )) va vb
-    | Ast.Ge -> m2 (Absdom.cmp_to ( >= )) va vb
-    | Ast.And -> m2 Absdom.and_ va vb
-    | Ast.Or -> m2 Absdom.or_ va vb)
-  | Ast.Un (Ast.Neg, a) -> Absdom.map1 n Absdom.neg (eval w a)
-  | Ast.Un (Ast.Not, a) -> Absdom.map1 n Absdom.not_ (eval w a)
+  | Ast.Bin (op, a, b) ->
+    Absdom.app2 ~n (binop_of op) (eval w a) (eval w b)
+  | Ast.Un (Ast.Neg, a) -> Absdom.app1 ~n Absdom.Neg (eval w a)
+  | Ast.Un (Ast.Not, a) -> Absdom.app1 ~n Absdom.Not (eval w a)
   | Ast.Funcall (name, args) -> intrinsic w name args
 
 and intrinsic w name args : Absdom.t =
   let n = w.n in
   match (name, args) with
-  | "myproc", [] -> Absdom.normalize (Array.init n (fun p -> Absdom.Pint p))
+  | "myproc", [] -> Absdom.myproc ~n
   | "nprocs", [] -> Absdom.Uni (Absdom.Pint n)
   | "tab$", sel :: consts ->
-    let s = eval w sel in
-    let cvals = Array.of_list (List.map (eval w) consts) in
-    Absdom.normalize
-      (Array.init n (fun p ->
-           match Absdom.int_at s p with
-           | Some i when i >= 0 && i < Array.length cvals ->
-             Absdom.at cvals.(i) p
-           | Some _ -> Absdom.Punk
-           | None -> Absdom.Punk))
+    Absdom.select ~n (eval w sel)
+      (Array.of_list (List.map (eval w) consts))
   | "owner$", Ast.Var arr :: subs -> (
     let obj = array_obj w arr in
     match obj.a_layout.Layout.dist_dim with
-    | None -> Absdom.normalize (Array.init n (fun p -> Absdom.Pint p))
+    | None -> Absdom.myproc ~n
     | Some d ->
       let idx = eval w (List.nth subs d) in
-      Absdom.normalize
-        (Array.init n (fun p ->
-             match Absdom.int_at idx p with
-             | Some i -> (
-               try Absdom.Pint (Layout.owner_of obj.a_layout ~nprocs:n i)
-               with _ -> Absdom.Punk)
-             | None -> Absdom.Punk)))
-  | "abs", [ a ] -> Absdom.map1 n Absdom.abs_ (eval w a)
+      let owner i =
+        try Absdom.Pint (Layout.owner_of obj.a_layout ~nprocs:n i)
+        with _ -> Absdom.Punk
+      in
+      Absdom.of_segs ~n
+        (List.concat_map
+           (fun (l, u, s) ->
+             match s with
+             | Absdom.Sconst (Absdom.Pint i) ->
+               [ (l, u, Absdom.Sconst (owner i)) ]
+             | Absdom.Sconst _ -> [ (l, u, Absdom.Sconst Absdom.Punk) ]
+             | Absdom.Saff _ ->
+               List.init (u - l + 1) (fun k ->
+                   let p = l + k in
+                   let v =
+                     match Absdom.seg_at s p with
+                     | Absdom.Pint i -> owner i
+                     | _ -> Absdom.Punk
+                   in
+                   (p, p, Absdom.Sconst v)))
+           (Absdom.segs_of ~n idx)))
+  | "abs", [ a ] -> Absdom.app1 ~n Absdom.Abs (eval w a)
   | "sqrt", [ a ] ->
-    Absdom.map1 n
+    Absdom.app1_pv ~n
       (fun v ->
         match Absdom.to_f v with
         | Some f -> Absdom.Preal (sqrt f)
         | None -> Absdom.Punk)
       (eval w a)
-  | "mod", [ a; b ] -> Absdom.map2 n Absdom.modulo (eval w a) (eval w b)
+  | "mod", [ a; b ] -> Absdom.app2 ~n Absdom.Mod (eval w a) (eval w b)
   | "max", _ :: _ :: _ -> (
     match List.map (eval w) args with
-    | v :: rest -> List.fold_left (Absdom.map2 n Absdom.max2) v rest
+    | v :: rest -> List.fold_left (Absdom.app2 ~n Absdom.Max) v rest
     | [] -> assert false)
   | "min", _ :: _ :: _ -> (
     match List.map (eval w) args with
-    | v :: rest -> List.fold_left (Absdom.map2 n Absdom.min2) v rest
+    | v :: rest -> List.fold_left (Absdom.app2 ~n Absdom.Min) v rest
     | [] -> assert false)
-  | "float", [ a ] -> Absdom.map1 n Absdom.to_real_pv (eval w a)
-  | "int", [ a ] -> Absdom.map1 n Absdom.to_int_pv (eval w a)
+  | "float", [ a ] -> Absdom.app1 ~n Absdom.ToReal (eval w a)
+  | "int", [ a ] -> Absdom.app1 ~n Absdom.ToInt (eval w a)
   | "sign", [ a; b ] ->
-    Absdom.map2 n
+    Absdom.app2_pv ~n
       (fun m s ->
         match (Absdom.to_f m, Absdom.to_f s) with
         | Some m', Some s' ->
@@ -307,16 +322,21 @@ let rec stmts_mention_divergence stmts =
       | _ -> false)
     stmts
 
-let all_active act = Array.for_all Fun.id act
-let any_active act = Array.exists Fun.id act
-let active_count act = Array.fold_left (fun a b -> if b then a + 1 else a) 0 act
+(* --- active masks (pid sets) ------------------------------------------ *)
 
-let missing_procs act =
-  let l = ref [] in
-  for p = Array.length act - 1 downto 0 do
-    if not act.(p) then l := p :: !l
-  done;
-  !l
+let all_active w act = Iset.count act = w.n
+let any_active act = not (Iset.is_empty act)
+let active_count act = Iset.count act
+let missing_procs w act = Iset.to_list (Iset.complement ~lo:0 ~hi:(w.n - 1) act)
+
+(* Pids in [act] where the (boolean) condition is true; the caller
+   guarantees every active lane is decided. *)
+let true_pids w ~act v =
+  match Absdom.truth ~n:w.n ~act v with
+  | Absdom.T_true -> act
+  | Absdom.T_false -> Iset.empty
+  | Absdom.T_split (t, _) -> t
+  | Absdom.T_unknown_uniform | Absdom.T_divergent -> Iset.empty
 
 (* --- assignment ------------------------------------------------------- *)
 
@@ -325,33 +345,34 @@ let do_assign w act lhs rhs =
   | Ast.Var name ->
     let v = eval w rhs in
     let cell = scalar_cell w name in
-    let blended = Absdom.blend w.n ~act !cell v in
+    let blended = Absdom.blend ~n:w.n ~act !cell v in
     cell :=
-      (if w.uncertain > 0 then Absdom.join w.n !cell blended else blended)
+      (if w.uncertain > 0 then Absdom.join ~n:w.n !cell blended else blended)
   | Ast.Ref _ -> ()  (* array stores carry no abstract information *)
   | _ -> raise (Stuck "bad assignment target in node program")
 
 let havoc_scalars w act ~divergent names =
   let upd =
-    if divergent then Absdom.Div (Array.make w.n Absdom.Punk)
-    else Absdom.unknown
+    if divergent then Absdom.divergent_unknown ~n:w.n else Absdom.unknown
   in
   List.iter
     (fun name ->
       match lookup w name with
-      | Bscalar cell -> cell := Absdom.join w.n !cell (Absdom.blend w.n ~act !cell upd)
+      | Bscalar cell ->
+        cell := Absdom.join ~n:w.n !cell (Absdom.blend ~n:w.n ~act !cell upd)
       | Barray _ -> ())
     names
 
 (* --- communication emission ------------------------------------------ *)
 
-(* Sections are evaluated once into per-processor vectors, then
-   instantiated per processor. *)
+(* Sections are evaluated once into compressed per-processor values,
+   then chunked into affine pid-intervals. *)
 let eval_section_vv w (section : Node.section) =
   List.map (fun (lo, hi, st) -> (eval w lo, eval w hi, eval w st)) section
 
-(* Instantiate one part's section at processor [p]; walk-time findings
-   for malformed sections mirror the dynamic Diag errors. *)
+(* Instantiate one part's section at a single processor [p]; walk-time
+   findings for malformed sections mirror the dynamic Diag errors.
+   Used at concrete pids (broadcast roots, per-pid fallback chunks). *)
 let section_at w ~loc ~what p (obj : aobj)
     (vsec : (Absdom.t * Absdom.t * Absdom.t) list) : Triplet.t list option =
   if List.length vsec <> List.length obj.a_bounds then begin
@@ -393,12 +414,71 @@ let section_at w ~loc ~what p (obj : aobj)
       Some (List.map Option.get dims)
     else None
 
-let owned_at obj p =
+let owned_at w obj p =
   match obj.a_layout.Layout.dist_dim with
-  | Some _ -> obj.a_owned.(p)
+  | Some _ -> Layout.owned_one obj.a_layout ~nprocs:w.n p
   | None -> Iset.empty
 
+(* Floor division (toward minus infinity); y > 0. *)
+let fdiv x y = if x >= 0 then x / y else -(((-x) + y - 1) / y)
+let cdiv x y = -fdiv (-x) y
+
+(* Solutions in [l, u] of k*p + c <= 0, as an interval. *)
+let halfline_le l u k c : (int * int) option =
+  if k = 0 then (if c <= 0 then Some (l, u) else None)
+  else if k > 0 then
+    let b = fdiv (-c) k in
+    if b < l then None else Some (l, min u b)
+  else
+    let b = cdiv c (-k) in
+    if b > u then None else Some (max l b, u)
+
+(* First pid in [cl, cu] whose instantiated triplet is non-empty and
+   escapes the declared bounds, with that triplet.  The affine path
+   covers step 1 and equal-slope endpoints (where the normalized upper
+   bound stays affine); other shapes scan. *)
+let oob_first cl cu (la, lb) (ha, hb) sb (blo, bhi) : (int * Triplet.t) option
+    =
+  let mk p = Triplet.make ~lo:((la * p) + lb) ~hi:((ha * p) + hb) ~step:sb in
+  if sb = 1 || la = ha then begin
+    if la = ha && hb < lb then None  (* empty on every pid *)
+    else
+      let ha', hb' =
+        if sb = 1 then (ha, hb)
+        else (la, lb + ((hb - lb) / sb * sb))
+      in
+      match halfline_le cl cu (la - ha) (lb - hb) with
+      | None -> None  (* empty on every pid *)
+      | Some (nl, nu) ->
+        let lo_v = halfline_le nl nu la (lb - blo + 1) in
+        let hi_v = halfline_le nl nu (-ha') (bhi + 1 - hb') in
+        let cand =
+          match (lo_v, hi_v) with
+          | Some (a, _), Some (b, _) -> Some (min a b)
+          | Some (a, _), None | None, Some (a, _) -> Some a
+          | None, None -> None
+        in
+        Option.map (fun p -> (p, mk p)) cand
+  end
+  else begin
+    let r = ref None in
+    let p = ref cl in
+    while !r = None && !p <= cu do
+      let t = mk !p in
+      if
+        (not (Triplet.is_empty t))
+        && (Triplet.lo t < blo || Triplet.hi t > bhi)
+      then r := Some (!p, t);
+      incr p
+    done;
+    !r
+  end
+
+let aff_of (a, b) = { Skeleton.a; b }
+
 let emit_send w act ~loc dest parts tag =
+  let n = w.n in
+  let what = "send" in
   let vdest = eval w dest in
   let vparts =
     List.map
@@ -414,41 +494,222 @@ let emit_send w act ~loc dest parts tag =
       Hashtbl.replace w.send_stats (loc, tag) c;
       c
   in
-  for p = 0 to w.n - 1 do
-    if act.(p) then begin
-      let d = Absdom.int_at vdest p in
-      if d = None then Hashtbl.replace w.fuzzy tag ();
-      let sparts =
-        List.map
-          (fun (obj, array, vsec) ->
-            let triplets = section_at w ~loc ~what:"send" p obj vsec in
+  (* per-pid fallback: the dense walk's body, verbatim *)
+  let emit_pid p =
+    let d = Absdom.int_at vdest p in
+    if d = None then Hashtbl.replace w.fuzzy tag ();
+    let sparts =
+      List.map
+        (fun (obj, array, vsec) ->
+          let triplets = section_at w ~loc ~what p obj vsec in
+          {
+            Skeleton.p_array = array;
+            p_triplets =
+              Option.map
+                (List.map (fun t ->
+                     ( Skeleton.aff_const (Triplet.lo t),
+                       Skeleton.aff_const (Triplet.hi t),
+                       Skeleton.aff_const (Triplet.step t) )))
+                triplets;
+            p_dist_dim = obj.a_layout.Layout.dist_dim;
+            p_layout = obj.a_layout;
+          })
+        vparts
+    in
+    let provably_empty =
+      sparts <> []
+      && List.for_all
+           (fun sp ->
+             match sp.Skeleton.p_triplets with
+             | Some tl ->
+               List.exists
+                 (fun (lo_a, hi_a, _) -> hi_a.Skeleton.b < lo_a.Skeleton.b)
+                 tl
+             | None -> false)
+           sparts
+    in
+    if provably_empty then incr empty else incr nonempty;
+    emit w
+      {
+        Skeleton.e_plo = p;
+        e_phi = p;
+        e_loc = loc;
+        e_kind =
+          Skeleton.Ev_send
+            { dest = Option.map Skeleton.aff_const d; tag; parts = sparts };
+      }
+  in
+  (* chunked emission over [cl, cu]: every quantity is one segment *)
+  let do_chunk cl cu (segs : Absdom.seg list) =
+    let dest_seg, rest =
+      match segs with d :: r -> (d, r) | [] -> assert false
+    in
+    (* slice the flattened segment list back into per-part dim triples *)
+    let rec split3 vsec segs =
+      match vsec with
+      | [] -> ([], segs)
+      | _ :: tl -> (
+        match segs with
+        | a :: b :: c :: r ->
+          let dims, rest = split3 tl r in
+          ((a, b, c) :: dims, rest)
+        | _ -> assert false)
+    in
+    let pdims, remaining =
+      List.fold_left
+        (fun (acc, segs) (obj, array, vsec) ->
+          let dims, rest = split3 vsec segs in
+          ((obj, array, vsec, dims) :: acc, rest))
+        ([], rest) vparts
+    in
+    assert (remaining = []);
+    let pdims = List.rev pdims in
+    let exotic =
+      List.exists
+        (fun (_, _, _, dims) ->
+          List.exists
+            (fun (_, _, sst) ->
+              match Absdom.lin_of sst with
+              | Some (sa, _) -> sa <> 0
+              | None -> false)
+            dims)
+        pdims
+    in
+    if exotic then
+      for p = cl to cu do
+        emit_pid p
+      done
+    else begin
+      let cands = ref [] in
+      let dest_a =
+        match Absdom.lin_of dest_seg with
+        | Some ab -> Some (aff_of ab)
+        | None ->
+          Hashtbl.replace w.fuzzy tag ();
+          None
+      in
+      let parts_out =
+        List.mapi
+          (fun pi (obj, array, vsec, dims) ->
+            let triplets =
+              if List.length vsec <> List.length obj.a_bounds then begin
+                cands :=
+                  ( cl, pi, -1, "section-rank",
+                    Fmt.str "%s section of %s has %d dimensions, array has %d"
+                      what obj.a_name (List.length vsec)
+                      (List.length obj.a_bounds) )
+                  :: !cands;
+                None
+              end
+              else begin
+                let dim_res =
+                  List.mapi
+                    (fun di ((slo, shi, sst), (blo, bhi)) ->
+                      match
+                        ( Absdom.lin_of slo,
+                          Absdom.lin_of shi,
+                          Absdom.lin_of sst )
+                      with
+                      | Some (la, lb), Some (ha, hb), Some (0, sb) ->
+                        if sb < 1 then begin
+                          cands :=
+                            ( cl, pi, di, "bad-section-step",
+                              Fmt.str
+                                "%s section of %s has step %d (must be \
+                                 positive)"
+                                what obj.a_name sb )
+                            :: !cands;
+                          None
+                        end
+                        else begin
+                          (match
+                             oob_first cl cu (la, lb) (ha, hb) sb (blo, bhi)
+                           with
+                          | Some (p, t) ->
+                            cands :=
+                              ( p, pi, di, what ^ "-out-of-bounds",
+                                Fmt.str
+                                  "p%d %ss %s(%s) outside the declared \
+                                   bounds %d:%d"
+                                  p what obj.a_name (Triplet.to_string t) blo
+                                  bhi )
+                              :: !cands
+                          | None -> ());
+                          Some (aff_of (la, lb), aff_of (ha, hb), aff_of (0, sb))
+                        end
+                      | _ -> None)
+                    (List.combine dims obj.a_bounds)
+                in
+                if List.for_all Option.is_some dim_res then
+                  Some (List.map Option.get dim_res)
+                else None
+              end
+            in
             {
               Skeleton.p_array = array;
               p_triplets = triplets;
               p_dist_dim = obj.a_layout.Layout.dist_dim;
-              p_owned = owned_at obj p;
+              p_layout = obj.a_layout;
             })
-          vparts
+          pdims
       in
+      List.iter
+        (fun (p, _, _, kind, msg) -> addf w ~loc ~proc:p Finding.Error kind msg)
+        (List.sort compare (List.rev !cands));
       (* dead-send accounting: provably-empty vs anything else *)
-      let provably_empty =
-        sparts <> []
-        && List.for_all
-             (fun sp ->
-               match sp.Skeleton.p_triplets with
-               | Some tl -> List.exists Triplet.is_empty tl
-               | None -> false)
-             sparts
+      let width = cu - cl + 1 in
+      let pe =
+        match parts_out with
+        | [] -> Iset.empty
+        | _ ->
+          List.fold_left
+            (fun acc sp ->
+              let es =
+                match sp.Skeleton.p_triplets with
+                | None -> Iset.empty
+                | Some tl ->
+                  List.fold_left
+                    (fun acc (lo_a, hi_a, _) ->
+                      match
+                        halfline_le cl cu
+                          (hi_a.Skeleton.a - lo_a.Skeleton.a)
+                          (hi_a.Skeleton.b - lo_a.Skeleton.b + 1)
+                      with
+                      | Some (a, b) -> Iset.union acc (Iset.range a b)
+                      | None -> acc)
+                    Iset.empty tl
+              in
+              Iset.inter acc es)
+            (Iset.range cl cu) parts_out
       in
-      if provably_empty then incr empty else incr nonempty;
+      let pec = Iset.count pe in
+      empty := !empty + pec;
+      nonempty := !nonempty + (width - pec);
       emit w
         {
-          Skeleton.e_proc = p;
+          Skeleton.e_plo = cl;
+          e_phi = cu;
           e_loc = loc;
-          e_kind = Skeleton.Ev_send { dest = d; tag; parts = sparts };
+          e_kind = Skeleton.Ev_send { dest = dest_a; tag; parts = parts_out };
         }
     end
-  done
+  in
+  let vals =
+    vdest
+    :: List.concat_map
+         (fun (_, _, vsec) ->
+           List.concat_map (fun (a, b, c) -> [ a; b; c ]) vsec)
+         vparts
+  in
+  let chunks = Absdom.align_many ~n vals in
+  Iset.fold_intervals
+    (fun () alo ahi ->
+      List.iter
+        (fun (cl, cu, segs) ->
+          let l = max cl alo and u = min cu ahi in
+          if l <= u then do_chunk l u segs)
+        chunks)
+    () act
 
 (* Arrays in scope at a statement, under their LOCAL names (a formal
    aliases the caller's array but messages refer to the formal). *)
@@ -463,36 +724,44 @@ let visible_arrays w =
   Hashtbl.fold (fun name o l -> (name, o) :: l) acc []
 
 let emit_recv w act ~loc src tag =
+  let n = w.n in
   let vsrc = eval w src in
-  let arrays = visible_arrays w in
-  for p = 0 to w.n - 1 do
-    if act.(p) then begin
-      let s = Absdom.int_at vsrc p in
-      if s = None then Hashtbl.replace w.fuzzy tag ();
-      let snaps =
-        List.map
-          (fun (name, obj) ->
-            {
-              Skeleton.ra_name = name;
-              ra_dist_dim = obj.a_layout.Layout.dist_dim;
-              ra_owned = owned_at obj p;
-            })
-          arrays
-      in
-      emit w
+  let snaps =
+    List.map
+      (fun (name, obj) ->
         {
-          Skeleton.e_proc = p;
-          e_loc = loc;
-          e_kind = Skeleton.Ev_recv { src = s; tag; arrays = snaps };
-        }
-    end
-  done
+          Skeleton.ra_name = name;
+          ra_dist_dim = obj.a_layout.Layout.dist_dim;
+          ra_layout = obj.a_layout;
+        })
+      (visible_arrays w)
+  in
+  Iset.fold_intervals
+    (fun () alo ahi ->
+      List.iter
+        (fun (cl, cu, s) ->
+          let src_a =
+            match Absdom.lin_of s with
+            | Some ab -> Some (aff_of ab)
+            | None ->
+              Hashtbl.replace w.fuzzy tag ();
+              None
+          in
+          emit w
+            {
+              Skeleton.e_plo = cl;
+              e_phi = cu;
+              e_loc = loc;
+              e_kind = Skeleton.Ev_recv { src = src_a; tag; arrays = snaps };
+            })
+        (Absdom.restrict ~n vsrc (alo, ahi)))
+    () act
 
 (* A collective reached by only part of the ensemble: the rest of the
    processors never join, which is the scheduler's deadlock-at-site.
    The event is NOT emitted (the skeleton would only cascade). *)
 let collective_act_ok w act ~loc ~site ~label =
-  if all_active act then true
+  if all_active w act then true
   else begin
     let sev = if w.uncertain > 0 then Finding.Warning else Finding.Error in
     let qualifier =
@@ -506,36 +775,39 @@ let collective_act_ok w act ~loc ~site ~label =
           (missing: %s)%s — the ensemble deadlocks at this site"
          site label (active_count act) w.n
          (String.concat ", "
-            (List.map (fun p -> Fmt.str "p%d" p) (missing_procs act)))
+            (List.map (fun p -> Fmt.str "p%d" p) (missing_procs w act)))
          qualifier);
     false
   end
 
+(* One event spanning the whole ensemble — collectives only reach the
+   emitter when every processor participates. *)
 let emit_coll w ~loc ~site ~label ~root payload =
   let id = w.next_id in
   w.next_id <- w.next_id + 1;
-  for p = 0 to w.n - 1 do
-    emit w
-      {
-        Skeleton.e_proc = p;
-        e_loc = loc;
-        e_kind = Skeleton.Ev_coll { id; site; label; root; payload };
-      }
-  done
+  emit w
+    {
+      Skeleton.e_plo = 0;
+      e_phi = w.n - 1;
+      e_loc = loc;
+      e_kind = Skeleton.Ev_coll { id; site; label; root; payload };
+    }
 
 let do_bcast w act ~loc root payload site =
   let vroot = eval w root in
   let root_id = Absdom.uniform_int vroot in
-  (match (root_id, vroot) with
-  | None, Absdom.Div vs
-    when not (Array.exists (fun v -> v = Absdom.Punk) vs) ->
-    addf w ~loc ~site Finding.Error "bcast-root-divergence"
-      "processors disagree on the broadcast root"
-  | None, _ ->
-    addf w ~loc ~site Finding.Info "unverified-collective"
-      (Fmt.str "broadcast root at site %d could not be resolved statically"
-         site)
-  | Some _, _ -> ());
+  (match root_id with
+  | Some _ -> ()
+  | None ->
+    if
+      (not (Absdom.is_uniform vroot)) && not (Absdom.has_punk ~n:w.n vroot)
+    then
+      addf w ~loc ~site Finding.Error "bcast-root-divergence"
+        "processors disagree on the broadcast root"
+    else
+      addf w ~loc ~site Finding.Info "unverified-collective"
+        (Fmt.str "broadcast root at site %d could not be resolved statically"
+           site));
   match payload with
   | Node.P_scalar name ->
     let cell = scalar_cell w name in
@@ -544,9 +816,11 @@ let do_bcast w act ~loc root payload site =
       match root_id with
       | Some r -> Absdom.Uni (Absdom.at !cell r)
       | None -> (
-        match !cell with Absdom.Uni _ as u -> u | Absdom.Div _ -> Absdom.unknown)
+        match !cell with
+        | Absdom.Uni _ as u -> u
+        | Absdom.Runs _ -> Absdom.unknown)
     in
-    cell := (if w.uncertain > 0 then Absdom.join w.n !cell v else v);
+    cell := (if w.uncertain > 0 then Absdom.join ~n:w.n !cell v else v);
     if collective_act_ok w act ~loc ~site ~label:name then
       emit_coll w ~loc ~site ~label:name ~root:root_id (Skeleton.Cp_scalar name)
   | Node.P_section (array, section) ->
@@ -569,7 +843,9 @@ let do_bcast w act ~loc root payload site =
              cs_triplets = triplets;
              cs_dist_dim = obj.a_layout.Layout.dist_dim;
              cs_owned_root =
-               (match root_id with Some r -> owned_at obj r | None -> Iset.empty);
+               (match root_id with
+               | Some r -> owned_at w obj r
+               | None -> Iset.empty);
            })
 
 let do_remap w act ~loc array new_layout site =
@@ -598,10 +874,7 @@ let do_remap w act ~loc array new_layout site =
     addf w ~loc ~site Finding.Error "remap-malformed"
       (Fmt.str "remap of %s uses block-cyclic size %d" array b)
   | _ -> ());
-  if !ok then begin
-    obj.a_layout <- new_layout;
-    obj.a_owned <- Layout.owned new_layout ~nprocs:w.n
-  end;
+  if !ok then obj.a_layout <- new_layout;
   if collective_act_ok w act ~loc ~site ~label:array then
     emit_coll w ~loc ~site ~label:array ~root:None (Skeleton.Cp_remap array)
 
@@ -609,20 +882,21 @@ let do_remap w act ~loc array new_layout site =
 
 (* [walk_seq w act stmts] returns the mask of processors still live
    (act minus those that executed RETURN). *)
-let rec walk_seq w (act : bool array) stmts : bool array =
+let rec walk_seq w (act : Iset.t) stmts : Iset.t =
   let live = ref act in
-  List.iter (fun s -> if any_active !live then live := walk_stmt w !live s) stmts;
+  List.iter
+    (fun s -> if any_active !live then live := walk_stmt w !live s)
+    stmts;
   !live
 
-and walk_stmt w (act : bool array) (s : Node.nstmt) : bool array =
+and walk_stmt w (act : Iset.t) (s : Node.nstmt) : Iset.t =
   burn w;
   match s with
   | Node.N_assign (lhs, rhs) ->
     do_assign w act lhs rhs;
     act
   | Node.N_print _ -> act
-  | Node.N_return ->
-    Array.map (fun _ -> false) act
+  | Node.N_return -> Iset.empty
   | Node.N_send { dest; parts; tag; loc } ->
     emit_send w act ~loc dest parts tag;
     act
@@ -665,7 +939,7 @@ and walk_call w act name args =
     (fun (ad : Node.array_decl) ->
       if (not (List.mem ad.Node.ad_name np.Node.np_formals))
          && not (is_common ad.Node.ad_name)
-      then Hashtbl.replace frame ad.Node.ad_name (Barray (alloc_aobj ~nprocs:w.n ad)))
+      then Hashtbl.replace frame ad.Node.ad_name (Barray (alloc_aobj ad)))
     np.Node.np_arrays;
   List.iter
     (fun (v, ty) ->
@@ -678,38 +952,25 @@ and walk_call w act name args =
   let _live = walk_seq w act np.Node.np_body in
   w.frames <- List.tl w.frames
 
-and walk_if w act cond then_ else_ : bool array =
+and walk_if w act cond then_ else_ : Iset.t =
   let vc = eval w cond in
-  match vc with
-  | Absdom.Uni (Absdom.Pbool true) -> walk_seq w act then_
-  | Absdom.Uni (Absdom.Pbool false) -> walk_seq w act else_
-  | Absdom.Uni _ ->
+  match Absdom.truth ~n:w.n ~act vc with
+  | Absdom.T_true -> walk_seq w act then_
+  | Absdom.T_false -> walk_seq w act else_
+  | Absdom.T_unknown_uniform ->
     (* unknown but processor-uniform: both branches possible, all
        processors take the same one — collectives inside stay congruent *)
     walk_branches_as_regions w act ~divergent:false then_ else_;
     act
-  | Absdom.Div vs ->
-    let decid =
-      Array.for_all2
-        (fun a v -> (not a) || match v with Absdom.Pbool _ -> true | _ -> false)
-        act vs
-    in
-    if decid then begin
-      let act_t =
-        Array.mapi (fun p a -> a && vs.(p) = Absdom.Pbool true) act
-      and act_e =
-        Array.mapi (fun p a -> a && vs.(p) = Absdom.Pbool false) act
-      in
-      let live_t = if any_active act_t then walk_seq w act_t then_ else act_t in
-      let live_e = if any_active act_e then walk_seq w act_e else_ else act_e in
-      Array.init w.n (fun p -> live_t.(p) || live_e.(p))
-    end
-    else begin
-      (* processors genuinely disagree and we cannot tell which way:
-         collective congruence inside is unverifiable *)
-      walk_branches_as_regions w act ~divergent:true then_ else_;
-      act
-    end
+  | Absdom.T_split (act_t, act_e) ->
+    let live_t = if any_active act_t then walk_seq w act_t then_ else act_t in
+    let live_e = if any_active act_e then walk_seq w act_e else_ else act_e in
+    Iset.union live_t live_e
+  | Absdom.T_divergent ->
+    (* processors genuinely disagree and we cannot tell which way:
+       collective congruence inside is unverifiable *)
+    walk_branches_as_regions w act ~divergent:true then_ else_;
+    act
 
 and walk_branches_as_regions w act ~divergent then_ else_ =
   let evs_t = walk_region w act then_ in
@@ -790,14 +1051,33 @@ and finish_regions w ~divergent (regions : Skeleton.event list list) =
           w.findings <-
             Skeleton.run ~nprocs:w.n ~degrade:true evs @ w.findings)
       regions;
-    (* assume the region's deliveries happened *)
+    (* assume the region's deliveries happened: the union of the
+       distributed-dimension elements over the event's pid interval
+       (exact up to 4096 senders, a contiguous hull beyond — the
+       assume only ever *suppresses* later warnings) *)
+    let span_elems ((lo_a, hi_a, st_a) as tr) ~plo ~phi =
+      if
+        lo_a.Skeleton.a = 0 && hi_a.Skeleton.a = 0 && st_a.Skeleton.a = 0
+      then Iset.of_triplet (Skeleton.triplet_at tr plo)
+      else if phi - plo < 4096 then
+        List.fold_left
+          (fun acc p -> Iset.union acc (Iset.of_triplet (Skeleton.triplet_at tr p)))
+          Iset.empty
+          (List.init (phi - plo + 1) (fun i -> plo + i))
+      else
+        let lo1 = Skeleton.aff_at lo_a plo and lo2 = Skeleton.aff_at lo_a phi in
+        let hi1 = Skeleton.aff_at hi_a plo and hi2 = Skeleton.aff_at hi_a phi in
+        let l = min lo1 lo2 and h = max hi1 hi2 in
+        if l > h then Iset.empty else Iset.range l h
+    in
     List.iter
       (fun (ev : Skeleton.event) ->
         let assume array elems =
           if not (Iset.is_empty elems) then
             emit w
               {
-                Skeleton.e_proc = 0;
+                Skeleton.e_plo = 0;
+                e_phi = 0;
                 e_loc = ev.Skeleton.e_loc;
                 e_kind = Skeleton.Ev_assume { array; elems };
               }
@@ -808,7 +1088,9 @@ and finish_regions w ~divergent (regions : Skeleton.event list list) =
             (fun (sp : Skeleton.part) ->
               match (sp.Skeleton.p_triplets, sp.Skeleton.p_dist_dim) with
               | Some tl, Some d when List.length tl > d ->
-                assume sp.Skeleton.p_array (Iset.of_triplet (List.nth tl d))
+                assume sp.Skeleton.p_array
+                  (span_elems (List.nth tl d) ~plo:ev.Skeleton.e_plo
+                     ~phi:ev.Skeleton.e_phi)
               | _ -> ())
             parts
         | Skeleton.Ev_coll
@@ -833,12 +1115,17 @@ and finish_regions w ~divergent (regions : Skeleton.event list list) =
        in isolation only"
   end
 
-and walk_do w act var lo hi step body : bool array =
+and walk_do w act var lo hi step body : Iset.t =
+  let n = w.n in
   let has_comm = stmts_have_comm w body in
   let vlo = eval w lo and vhi = eval w hi in
-  let vst = match step with None -> Absdom.Uni (Absdom.Pint 1) | Some e -> eval w e in
+  let vst =
+    match step with None -> Absdom.Uni (Absdom.Pint 1) | Some e -> eval w e
+  in
   let divergent_bounds =
-    not (Absdom.is_uniform vlo && Absdom.is_uniform vhi && Absdom.is_uniform vst)
+    not
+      (Absdom.is_uniform vlo && Absdom.is_uniform vhi
+     && Absdom.is_uniform vst)
   in
   if not has_comm then begin
     (* communication-free loops are skipped entirely — the analysis only
@@ -848,65 +1135,68 @@ and walk_do w act var lo hi step body : bool array =
     let divergent =
       divergent_bounds
       || stmts_mention_divergence body
-      || not (all_active act)
+      || not (all_active w act)
     in
     havoc_scalars w act ~divergent (var :: assigned_scalars w body);
     act
   end
   else begin
-    let bound p v = Absdom.int_at v p in
-    let all_known =
-      let ok = ref true in
-      for p = 0 to w.n - 1 do
-        if act.(p)
-           && (bound p vlo = None || bound p vhi = None || bound p vst = None)
-        then ok := false
-      done;
-      !ok
+    let known =
+      Iset.inter
+        (Absdom.int_pids ~n vlo)
+        (Iset.inter (Absdom.int_pids ~n vhi) (Absdom.int_pids ~n vst))
     in
-    if all_known then begin
-      let lo_p = Array.init w.n (fun p -> Option.value (bound p vlo) ~default:0)
-      and hi_p = Array.init w.n (fun p -> Option.value (bound p vhi) ~default:0)
-      and st_p = Array.init w.n (fun p -> Option.value (bound p vst) ~default:1) in
-      let zero_step = ref false in
-      Array.iteri (fun p st -> if act.(p) && st = 0 then zero_step := true) st_p;
-      if !zero_step then begin
+    if Iset.subset act known then begin
+      let zero_pids =
+        Iset.of_intervals
+          (List.filter_map
+             (fun (l, u, s) ->
+               match s with
+               | Absdom.Sconst (Absdom.Pint 0) -> Some (l, u)
+               | Absdom.Sconst _ -> None
+               | Absdom.Saff { a; b } ->
+                 if b mod a = 0 then
+                   let p = -b / a in
+                   if p >= l && p <= u then Some (p, p) else None
+                 else None)
+             (Absdom.segs_of ~n vst))
+      in
+      if not (Iset.disjoint act zero_pids) then begin
         addf w Finding.Error "zero-do-step"
           (Fmt.str "DO %s has a zero step" var);
         act
       end
       else begin
         (* ordinal-lockstep unrolling: iteration k runs simultaneously on
-           every processor still in range — the SPMD execution model *)
+           every processor still in range — the SPMD execution model.
+           Membership tests are interval-set algebra, O(#segments). *)
         let cell = scalar_cell w var in
+        let zero = Absdom.Uni (Absdom.Pint 0) in
+        let pos = true_pids w ~act (Absdom.app2 ~n Absdom.Gt vst zero) in
+        let vk k =
+          Absdom.app2 ~n Absdom.Add vlo
+            (Absdom.app2 ~n Absdom.Mul (Absdom.Uni (Absdom.Pint k)) vst)
+        in
+        let in_range live v =
+          let le = true_pids w ~act:live (Absdom.app2 ~n Absdom.Le v vhi) in
+          let ge = true_pids w ~act:live (Absdom.app2 ~n Absdom.Ge v vhi) in
+          Iset.union (Iset.inter pos le) (Iset.inter (Iset.diff live pos) ge)
+        in
         let live = ref act in
         let k = ref 0 in
-        let in_range p k =
-          let v = lo_p.(p) + (k * st_p.(p)) in
-          if st_p.(p) > 0 then v <= hi_p.(p) else v >= hi_p.(p)
-        in
-        let continue_ () =
-          let any = ref false in
-          for p = 0 to w.n - 1 do
-            if !live.(p) && in_range p !k then any := true
-          done;
-          !any
-        in
-        while continue_ () do
-          burn w;
-          let act_k = Array.mapi (fun p l -> l && in_range p !k) !live in
-          let upd =
-            Absdom.normalize
-              (Array.init w.n (fun p ->
-                   if act_k.(p) then Absdom.Pint (lo_p.(p) + (!k * st_p.(p)))
-                   else Absdom.Punk))
-          in
-          cell := Absdom.blend w.n ~act:act_k !cell upd;
-          let live_k = walk_seq w act_k body in
-          (* processors that RETURNed during this iteration stay out *)
-          live :=
-            Array.mapi (fun p l -> if act_k.(p) then live_k.(p) else l) !live;
-          incr k
+        let continue_ = ref true in
+        while !continue_ do
+          let v = vk !k in
+          let act_k = in_range !live v in
+          if Iset.is_empty act_k then continue_ := false
+          else begin
+            burn w;
+            cell := Absdom.blend ~n ~act:act_k !cell v;
+            let live_k = walk_seq w act_k body in
+            (* processors that RETURNed during this iteration stay out *)
+            live := Iset.union (Iset.diff !live act_k) live_k;
+            incr k
+          end
         done;
         !live
       end
@@ -960,8 +1250,7 @@ let walk_main ~nprocs (prog : Node.program) (main : Node.nproc) : result =
   let frame : frame = Hashtbl.create 16 in
   List.iter
     (fun (ad : Node.array_decl) ->
-      Hashtbl.replace w.globals ad.Node.ad_name
-        (Barray (alloc_aobj ~nprocs ad)))
+      Hashtbl.replace w.globals ad.Node.ad_name (Barray (alloc_aobj ad)))
     prog.Node.n_common_arrays;
   List.iter
     (fun (v, ty) -> Hashtbl.replace w.globals v (Bscalar (ref (zero_of ty))))
@@ -969,8 +1258,7 @@ let walk_main ~nprocs (prog : Node.program) (main : Node.nproc) : result =
   List.iter
     (fun (ad : Node.array_decl) ->
       if not (Hashtbl.mem w.globals ad.Node.ad_name) then
-        Hashtbl.replace frame ad.Node.ad_name
-          (Barray (alloc_aobj ~nprocs ad)))
+        Hashtbl.replace frame ad.Node.ad_name (Barray (alloc_aobj ad)))
     main.Node.np_arrays;
   List.iter
     (fun (v, ty) ->
@@ -978,7 +1266,7 @@ let walk_main ~nprocs (prog : Node.program) (main : Node.nproc) : result =
         Hashtbl.replace frame v (Bscalar (ref (zero_of ty))))
     main.Node.np_scalars;
   w.frames <- [ frame ];
-  let act = Array.make nprocs true in
+  let act = Iset.range 0 (nprocs - 1) in
   let complete =
     try
       ignore (walk_seq w act main.Node.np_body);

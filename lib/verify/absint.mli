@@ -1,0 +1,42 @@
+(** Abstract interpretation of a node program over the whole processor
+    ensemble at once.
+
+    The walker executes the program once for all P processors,
+    tracking:
+
+    - scalar values as compressed lane vectors ({!Absdom.t}) — uniform,
+      affine-in-pid, or run-length covers of pid space;
+    - the {e active set} as a pid interval set ([Iset.t]) instead of a
+      per-P boolean mask, so owner guards ([my$p <= k]) and
+      neighbor-relative control flow stay O(runs), not O(P);
+    - DO loops in lockstep over the active set, unrolling while any
+      active pid's (possibly pid-dependent) bounds keep it live;
+    - array layouts ({!Layout.t}), consulted on demand per pid interval
+      — no per-processor ownership arrays are materialized.
+
+    Output is a stream of {!Skeleton.event}s whose pid intervals cover
+    every emitting processor (one event per interval of lanes that
+    agree up to an affine form), plus walk-time findings (out-of-bounds
+    sections, divergent broadcast roots, dead sends...).  Where lanes
+    resist the affine forms the emitter falls back to per-pid events
+    for exactly the divergent interval, reproducing the dense verifier
+    event-for-event and finding-for-finding (differentially tested at
+    sampled P in [test/test_verify.ml]). *)
+
+open Fd_machine
+
+exception Truncated
+exception Stuck of string
+
+type result = {
+  events : Skeleton.event list;
+  findings : Finding.t list;
+  fuzzy_tags : (int, unit) Hashtbl.t;
+  complete : bool;
+      (** the event stream covers the whole program, so the skeleton
+          replay's deadlock verdicts are meaningful *)
+  visits : int;  (** statements visited, for the bench *)
+}
+
+(** Walk the program's main entry for [nprocs] processors. *)
+val walk : nprocs:int -> Node.program -> result

@@ -1,12 +1,22 @@
 (* The communication skeleton: the residue of a node program after the
-   abstract interpreter (Absint) strips away computation, leaving one
-   event list per processor.  This module replays that skeleton with an
-   abstract scheduler that mirrors Fd_machine.Scheduler:
+   abstract interpreter (Absint) strips away computation.  Since the
+   compressed-ensemble refactor an event no longer belongs to a single
+   processor: it covers a pid interval [e_plo, e_phi] and its endpoints
+   (send destination, recv source) are affine forms a*pid + b, so one
+   event stands for up to P per-processor events.  This module replays
+   that skeleton with an abstract scheduler that mirrors
+   Fd_machine.Scheduler:
 
-   - point-to-point sends queue on (src, dest, tag) channels; a recv
-     blocks until a matching message is queued;
-   - collectives barrier on their emission id (the walker emits one id
-     per dynamic collective instance, covering the full ensemble);
+   - point-to-point sends queue one message per sender pid; a recv
+     blocks until a matching message is queued.  A whole interval of
+     receivers advances in one step when its source form composes with
+     a queued message's destination form to the identity (send from
+     [l, u] with dest pid+1 matches recv on [l+1, u+1] from pid-1);
+     anything irregular falls back to pid-at-a-time matching in the
+     exact order the dense replay used, so findings are unchanged;
+   - collectives barrier on their emission id (the walker emits one
+     interval event per dynamic collective instance, covering the full
+     ensemble);
    - when no processor can make progress and some are unfinished, that
      is a static deadlock — reported with the same wait-for graph and
      cycle extraction as the dynamic scheduler's Deadlock error.
@@ -14,21 +24,43 @@
    Payload validity is checked in causal order, mirroring the storage
    model: an element may be sent only if the sender owns it or has
    received it earlier (Storage.Invalid_read otherwise), and a remap
-   invalidates everything previously received for that array. *)
+   invalidates everything previously received for that array.  Received
+   sets are parametric in the pid — {slope*pid + e | e in base} over a
+   pid set — so a broadcast grows all P received sets in O(1). *)
 
 open Fd_support
+open Fd_machine
+
+(* --- affine pid forms -------------------------------------------------- *)
+
+type aff = { a : int; b : int }  (* fun pid -> a*pid + b *)
+
+let aff_at f p = (f.a * p) + f.b
+let aff_const c = { a = 0; b = c }
+
+let pp_aff ppf f =
+  if f.a = 0 then Fmt.pf ppf "%d" f.b
+  else if f.a = 1 then
+    if f.b = 0 then Fmt.string ppf "p" else Fmt.pf ppf "p%+d" f.b
+  else if f.a = -1 then
+    if f.b = 0 then Fmt.string ppf "-p" else Fmt.pf ppf "-p%+d" f.b
+  else Fmt.pf ppf "%d*p%+d" f.a f.b
+
+(* --- events ------------------------------------------------------------ *)
 
 type part = {
   p_array : string;
-  p_triplets : Triplet.t list option;  (* None: section not evaluable *)
+  p_triplets : (aff * aff * aff) list option;
+      (* per-dim (lo, hi, step) of the sent section, affine in the
+         SENDER pid; None: section not evaluable *)
   p_dist_dim : int option;
-  p_owned : Iset.t;  (* sender's owned set (dist dim) at emission *)
+  p_layout : Layout.t;  (* sender's layout at emission *)
 }
 
 type recv_array = {
   ra_name : string;
   ra_dist_dim : int option;
-  ra_owned : Iset.t;  (* receiver's owned set (dist dim) at emission *)
+  ra_layout : Layout.t;  (* receiver's layout at emission *)
 }
 
 type coll_payload =
@@ -42,8 +74,8 @@ type coll_payload =
   | Cp_remap of string
 
 type kind =
-  | Ev_send of { dest : int option; tag : int; parts : part list }
-  | Ev_recv of { src : int option; tag : int; arrays : recv_array list }
+  | Ev_send of { dest : aff option; tag : int; parts : part list }
+  | Ev_recv of { src : aff option; tag : int; arrays : recv_array list }
   | Ev_coll of { id : int; site : int; label : string; root : int option;
                  payload : coll_payload }
   | Ev_assume of { array : string; elems : Iset.t }
@@ -51,148 +83,405 @@ type kind =
          region the walker could not verify: grows every processor's
          received set so later sends are not falsely flagged *)
 
-type event = { e_proc : int; e_kind : kind; e_loc : Loc.t }
+type event = { e_plo : int; e_phi : int; e_kind : kind; e_loc : Loc.t }
+
+(* Evaluate an affine section triplet at a concrete (sender) pid.  The
+   walker only emits steps it proved positive; guard anyway. *)
+let triplet_at (lo, hi, st) p =
+  let s = aff_at st p in
+  if s < 1 then Triplet.empty
+  else Triplet.make ~lo:(aff_at lo p) ~hi:(aff_at hi p) ~step:s
+
+let dist_elems_at part p =
+  match (part.p_triplets, part.p_dist_dim) with
+  | Some tl, Some d when List.length tl > d ->
+    Some (Iset.of_triplet (triplet_at (List.nth tl d) p))
+  | _ -> None
+
+let part_has_dist part =
+  match (part.p_triplets, part.p_dist_dim) with
+  | Some tl, Some d -> List.length tl > d
+  | _ -> false
+
+(* Owned set in the distributed dimension, on demand (no O(P) array). *)
+let owned_at (lay : Layout.t) ~n p =
+  match lay.Layout.dist_dim with
+  | None -> Iset.empty
+  | Some _ -> Layout.owned_one lay ~nprocs:n p
 
 (* ---------------------------------------------------------------------- *)
 
-type chan_msg = { m_src : int; m_parts : part list; m_loc : Loc.t }
+(* Parametric received sets: for pid p in [en_pids], the elements
+   {en_slope * p + e | e in en_base} have been received.  Slope-0
+   entries are collective deliveries (same elements everywhere); the
+   merge rules keep one entry per communication pattern so a loop of 63
+   broadcasts costs one entry, not 63 * P sets. *)
+type rentry = { en_pids : Iset.t; en_slope : int; en_base : Iset.t }
+
+type imsg = {
+  im_seq : int;
+  im_tag : int;
+  im_dest : aff option;         (* None: destination unknown (wild) *)
+  mutable im_senders : Iset.t;  (* senders whose copy is not yet consumed *)
+  im_parts : part list;
+  im_loc : Loc.t;
+  im_round : int;               (* scheduler round that pushed it *)
+}
+
+(* A maximal pid interval whose processors sit at the same position in
+   the global event array.  Groups always partition [0, n-1]. *)
+type group = {
+  mutable g_lo : int;
+  mutable g_hi : int;
+  mutable g_cur : int;
+  mutable g_seen : bool;  (* advanced-until-blocked this round *)
+}
 
 type st = {
   n : int;
   degrade : bool;  (* region self-check: cap every severity at Info *)
   fuzzy : (int, unit) Hashtbl.t;  (* tags with unverifiable endpoints *)
-  received : (int * string, Iset.t ref) Hashtbl.t;
-  chans : (int * int * int, chan_msg Queue.t) Hashtbl.t;  (* src,dest,tag *)
-  wild : (int, chan_msg Queue.t) Hashtbl.t;  (* unknown-dest sends, by tag *)
+  received : (string, rentry list ref) Hashtbl.t;
+  mutable msgs : imsg list;  (* newest first; scan via msgs_fwd *)
+  mutable next_seq : int;
+  mutable groups : group list;
+  mutable progress : bool;
+  mutable round : int;
   mutable findings : Finding.t list;
   redundant_seen : (Loc.t, unit) Hashtbl.t;
 }
+
+(* Dense-order visibility: the replay processes pids in ascending order
+   within a round, so a message pushed THIS round is only visible to a
+   receiver once its sender's turn has passed — sender <= receiver.
+   Messages from earlier rounds are visible to everyone. *)
+let sender_visible st m ~sender ~receiver =
+  m.im_round < st.round || sender <= receiver
 
 let add st ?loc ?proc ?tag ?site sev kind msg =
   let sev = if st.degrade then Finding.Info else sev in
   st.findings <- Finding.make ?loc ?proc ?tag ?site sev kind msg :: st.findings
 
-let received st p array =
-  match Hashtbl.find_opt st.received (p, array) with
+let rentries st array =
+  match Hashtbl.find_opt st.received array with
   | Some r -> r
   | None ->
-    let r = ref Iset.empty in
-    Hashtbl.replace st.received (p, array) r;
+    let r = ref [] in
+    Hashtbl.replace st.received array r;
     r
 
-let chan st key =
-  match Hashtbl.find_opt st.chans key with
-  | Some q -> q
-  | None ->
-    let q = Queue.create () in
-    Hashtbl.replace st.chans key q;
-    q
+let add_received st array ~pids ~slope ~base =
+  if not (Iset.is_empty pids || Iset.is_empty base) then begin
+    let r = rentries st array in
+    let rec ins = function
+      | [] -> [ { en_pids = pids; en_slope = slope; en_base = base } ]
+      | e :: rest when e.en_slope = slope && Iset.equal e.en_base base ->
+        { e with en_pids = Iset.union e.en_pids pids } :: rest
+      | e :: rest when e.en_slope = slope && Iset.equal e.en_pids pids ->
+        { e with en_base = Iset.union e.en_base base } :: rest
+      | e :: rest -> e :: ins rest
+    in
+    r := ins !r
+  end
 
-let wild_chan st tag =
-  match Hashtbl.find_opt st.wild tag with
-  | Some q -> q
-  | None ->
-    let q = Queue.create () in
-    Hashtbl.replace st.wild tag q;
-    q
+let received_at st array p =
+  match Hashtbl.find_opt st.received array with
+  | None -> Iset.empty
+  | Some r ->
+    List.fold_left
+      (fun acc e ->
+        if Iset.mem p e.en_pids then
+          Iset.union acc (Iset.shift (e.en_slope * p) e.en_base)
+        else acc)
+      Iset.empty !r
 
-let dist_elems part =
+let push_msg st ~tag ~dest ~senders ~parts ~loc =
+  let m =
+    { im_seq = st.next_seq; im_tag = tag; im_dest = dest;
+      im_senders = senders; im_parts = parts; im_loc = loc;
+      im_round = st.round }
+  in
+  st.next_seq <- st.next_seq + 1;
+  st.msgs <- m :: st.msgs
+
+let msgs_fwd st = List.rev st.msgs
+
+(* --- sends ------------------------------------------------------------- *)
+
+(* Provable whole-interval validity: every pid sends a slice of its own
+   Block(b) — elems(p) = [b*p + lo0 : b*p + hi0] against owned(p) =
+   [L + b*p : min(H, L + b*p + b - 1)].  When this holds no per-pid
+   check can fire, so the O(width) loop is skipped. *)
+let send_valid_parametric part ~plo ~phi =
   match (part.p_triplets, part.p_dist_dim) with
-  | Some tl, Some d when List.length tl > d ->
-    Some (Iset.of_triplet (List.nth tl d))
-  | _ -> None
+  | Some tl, Some d when List.length tl > d -> (
+    let lay = part.p_layout in
+    match (lay.Layout.dist_dim, lay.Layout.dist) with
+    | Some ld, Layout.Block b when ld = d && b >= 1 -> (
+      match List.nth_opt lay.Layout.bounds d with
+      | None -> false
+      | Some (bl, bh) ->
+        let lo_a, hi_a, st_a = List.nth tl d in
+        st_a.a = 0 && st_a.b >= 1 && lo_a.a = b && hi_a.a = b
+        && (lo_a.b > hi_a.b  (* empty for every pid *)
+           || (lo_a.b >= bl && hi_a.b <= bl + b - 1
+              && (b * phi) + hi_a.b <= bh && (b * plo) + lo_a.b >= bl)))
+    | _ -> false)
+  | _ -> false
 
-let process_send st p loc (dest : int option) tag parts =
+let send_checks st ~plo ~phi loc tag parts =
   List.iter
     (fun part ->
       if part.p_triplets = None then Hashtbl.replace st.fuzzy tag ();
-      match dist_elems part with
-      | Some elems ->
-        let valid = Iset.union part.p_owned !(received st p part.p_array) in
-        if not (Iset.subset elems valid) then
-          add st ~loc ~proc:p ~tag Finding.Error "send-unowned-data"
-            (Fmt.str
-               "p%d sends %s elements %s in the distributed dimension that it \
-                neither owns nor has received"
-               p part.p_array
-               (Iset.to_string (Iset.diff elems valid)))
-      | None -> ())
-    parts;
-  let msg = { m_src = p; m_parts = parts; m_loc = loc } in
-  match dest with
-  | Some d -> Queue.add msg (chan st (p, d, tag))
-  | None ->
-    Hashtbl.replace st.fuzzy tag ();
-    Queue.add msg (wild_chan st tag)
+      if part_has_dist part
+         && not (phi - plo > 32 && send_valid_parametric part ~plo ~phi)
+      then
+        for p = plo to phi do
+          match dist_elems_at part p with
+          | Some elems ->
+            let valid =
+              Iset.union
+                (owned_at part.p_layout ~n:st.n p)
+                (received_at st part.p_array p)
+            in
+            if not (Iset.subset elems valid) then
+              add st ~loc ~proc:p ~tag Finding.Error "send-unowned-data"
+                (Fmt.str
+                   "p%d sends %s elements %s in the distributed dimension \
+                    that it neither owns nor has received"
+                   p part.p_array
+                   (Iset.to_string (Iset.diff elems valid)))
+          | None -> ()
+        done)
+    parts
 
-(* Find a queued message for a recv at processor [p]. *)
-let match_recv st p (src : int option) tag : chan_msg option =
-  let take q = if Queue.is_empty q then None else Some (Queue.pop q) in
+(* --- receive matching -------------------------------------------------- *)
+
+let reflect c s =  (* { c - x | x in s } *)
+  Iset.of_intervals (List.map (fun (a, b) -> (c - b, c - a)) (Iset.intervals s))
+
+(* Floor/ceiling division (y > 0). *)
+let fdiv x y = if x >= 0 then x / y else -(((-x) + y - 1) / y)
+let cdiv x y = -fdiv (-x) y
+
+type mset = Known of Iset.t | Unknown
+
+(* The pids in [lo, hi] whose recv (source form [s]) message [m]
+   satisfies: sender s(p) is still pending in [m], m's destination form
+   maps s(p) back to p, and the sender is visible (its turn this round
+   has passed, or the message is from an earlier round). *)
+let matched_set st m ~lo ~hi (s : aff) : mset =
+  let vis ms =
+    if m.im_round < st.round then ms
+    else
+      (* same round: keep receivers p with s(p) <= p, i.e.
+         (s.a - 1)*p + s.b <= 0 *)
+      let k = s.a - 1 and c = s.b in
+      let ok =
+        if k = 0 then (if c <= 0 then Iset.range lo hi else Iset.empty)
+        else if k > 0 then
+          let b = fdiv (-c) k in
+          if b < lo then Iset.empty else Iset.range lo (min hi b)
+        else
+          let b = cdiv c (-k) in
+          if b > hi then Iset.empty else Iset.range (max lo b) hi
+      in
+      Iset.inter ms ok
+  in
+  match m.im_dest with
+  | None -> if Iset.is_empty m.im_senders then Known Iset.empty else Unknown
+  | Some d ->
+    let coeff = (d.a * s.a) - 1 and c0 = (d.a * s.b) + d.b in
+    if coeff <> 0 then
+      if c0 mod coeff = 0 then begin
+        let p = -(c0 / coeff) in
+        if p >= lo && p <= hi && Iset.mem (aff_at s p) m.im_senders then
+          Known (vis (Iset.singleton p))
+        else Known Iset.empty
+      end
+      else Known Iset.empty
+    else if c0 <> 0 then Known Iset.empty
+    else if s.a = 1 then
+      Known
+        (vis (Iset.inter (Iset.range lo hi) (Iset.shift (-s.b) m.im_senders)))
+    else if s.a = -1 then
+      Known (vis (Iset.inter (Iset.range lo hi) (reflect s.b m.im_senders)))
+    else Unknown
+
+(* One message is the provable first match for the whole interval, or we
+   must fall back to pid-at-a-time matching (dense order), or nobody in
+   the interval can match anything yet. *)
+let match_group st ~lo ~hi (s : aff) tag : [ `All of imsg | `Split | `None ] =
+  let full = Iset.range lo hi in
+  let rec scan = function
+    | [] -> `None
+    | m :: rest when m.im_tag <> tag -> scan rest
+    | m :: rest -> (
+      match matched_set st m ~lo ~hi s with
+      | Unknown -> `Split
+      | Known ms ->
+        if Iset.is_empty ms then scan rest
+        else if Iset.equal ms full then `All m
+        else `Split)
+  in
+  scan (msgs_fwd st)
+
+let image_of_interval (s : aff) ~lo ~hi =
+  if s.a = 0 then Iset.singleton s.b
+  else if s.a = 1 then Iset.range (lo + s.b) (hi + s.b)
+  else if s.a = -1 then Iset.range (s.b - hi) (s.b - lo)
+  else Iset.of_list (List.init (hi - lo + 1) (fun i -> aff_at s (lo + i)))
+
+(* Dense-order match for a single pid: direct (known-destination)
+   messages first, earliest emission wins, then the wild queue. *)
+let match_one st p (src : int option) tag : (imsg * int) option =
+  let fwd = msgs_fwd st in
   let from_wild () =
-    match Hashtbl.find_opt st.wild tag with
-    | Some q -> take q
+    match
+      List.find_opt
+        (fun m ->
+          m.im_tag = tag && m.im_dest = None
+          &&
+          match Iset.min_elt m.im_senders with
+          | Some s -> sender_visible st m ~sender:s ~receiver:p
+          | None -> false)
+        fwd
+    with
+    | Some m -> (
+      match Iset.min_elt m.im_senders with
+      | Some sdr -> Some (m, sdr)
+      | None -> None)
     | None -> None
   in
   match src with
-  | Some s -> (
-    match Hashtbl.find_opt st.chans (s, p, tag) with
-    | Some q when not (Queue.is_empty q) -> take q
-    | _ -> from_wild ())
+  | Some sp -> (
+    let direct =
+      List.find_opt
+        (fun m ->
+          m.im_tag = tag
+          &&
+          match m.im_dest with
+          | Some d ->
+            Iset.mem sp m.im_senders && aff_at d sp = p
+            && sender_visible st m ~sender:sp ~receiver:p
+          | None -> false)
+        fwd
+    in
+    match direct with Some m -> Some (m, sp) | None -> from_wild ())
   | None -> (
     Hashtbl.replace st.fuzzy tag ();
-    let found = ref None in
-    Hashtbl.iter
-      (fun (_, d, t) q ->
-        if !found = None && d = p && t = tag && not (Queue.is_empty q) then
-          found := take q)
-      st.chans;
-    match !found with Some _ as m -> m | None -> from_wild ())
+    let sender_for m =
+      match m.im_dest with
+      | Some d ->
+        if d.a = 0 then
+          if d.b = p then Iset.min_elt m.im_senders else None
+        else if (p - d.b) mod d.a = 0 then begin
+          let sdr = (p - d.b) / d.a in
+          if Iset.mem sdr m.im_senders then Some sdr else None
+        end
+        else None
+      | None -> None
+    in
+    let rec scan = function
+      | [] -> None
+      | m :: rest when m.im_tag <> tag -> scan rest
+      | m :: rest -> (
+        match sender_for m with
+        | Some sdr when sender_visible st m ~sender:sdr ~receiver:p ->
+          Some (m, sdr)
+        | _ -> scan rest)
+    in
+    match scan fwd with Some r -> Some r | None -> from_wild ())
 
-let apply_recv st p recv_loc (arrays : recv_array list) (msg : chan_msg) tag =
+let consume m sdrs = m.im_senders <- Iset.diff m.im_senders sdrs
+
+(* --- receive application ----------------------------------------------- *)
+
+let apply_recv_one st p recv_loc (arrays : recv_array list) (m : imsg) sdr tag
+    ~update =
   let all_known = ref true and all_owned = ref true and has_dist = ref false in
   List.iter
     (fun part ->
-      match dist_elems part with
+      match dist_elems_at part sdr with
       | Some elems -> (
         has_dist := true;
         match List.find_opt (fun ra -> ra.ra_name = part.p_array) arrays with
         | None ->
           all_owned := false;
-          add st ~loc:msg.m_loc ~proc:p ~tag Finding.Error "recv-unknown-array"
+          add st ~loc:m.im_loc ~proc:p ~tag Finding.Error "recv-unknown-array"
             (Fmt.str "message stores into %s, which is not visible at the \
                       receiving processor p%d" part.p_array p)
         | Some ra ->
-          if not (Iset.subset elems ra.ra_owned) then all_owned := false;
-          let r = received st p part.p_array in
-          r := Iset.union !r elems)
+          if not (Iset.subset elems (owned_at ra.ra_layout ~n:st.n p)) then
+            all_owned := false;
+          if update then
+            add_received st part.p_array ~pids:(Iset.singleton p) ~slope:0
+              ~base:elems)
       | None -> all_known := false)
-    msg.m_parts;
+    m.im_parts;
   if !all_known && !has_dist && !all_owned
      && not (Hashtbl.mem st.redundant_seen recv_loc)
   then begin
     Hashtbl.replace st.redundant_seen recv_loc ();
     add st ~loc:recv_loc ~proc:p ~tag Finding.Warning "redundant-recv"
       (Fmt.str "p%d receives only elements it already owns (message from p%d)"
-         p msg.m_src)
+         p sdr)
   end
 
-let apply_coll st (evs : event array) =
-  (* All processors are parked at the same emission; the walker
-     guarantees structural agreement, so consult processor 0's copy. *)
-  match evs.(0).e_kind with
+(* Whole-interval receive: the received-set update is parametric when
+   the sent section is affine with one slope (the overwhelmingly common
+   case: each pid passes along a slice of its own block); the finding
+   checks still walk the pids so diagnostics match the dense replay. *)
+let apply_recv_group st ~lo ~hi recv_loc (arrays : recv_array list) (m : imsg)
+    (s : aff) tag =
+  List.iter
+    (fun part ->
+      match (part.p_triplets, part.p_dist_dim) with
+      | Some tl, Some d when List.length tl > d -> (
+        match List.find_opt (fun ra -> ra.ra_name = part.p_array) arrays with
+        | None -> ()  (* flagged per pid below *)
+        | Some _ ->
+          let lo_a, hi_a, st_a = List.nth tl d in
+          if lo_a.a = hi_a.a && st_a.a = 0 then begin
+            (* elems(sender) = shift (k*sender) base and sender = s(p),
+               so the delivery has slope k*s.a and base shifted k*s.b *)
+            let k = lo_a.a in
+            let base =
+              triplet_at (aff_const lo_a.b, aff_const hi_a.b, st_a) 0
+            in
+            add_received st part.p_array ~pids:(Iset.range lo hi)
+              ~slope:(k * s.a)
+              ~base:(Iset.shift (k * s.b) (Iset.of_triplet base))
+          end
+          else
+            for p = lo to hi do
+              match dist_elems_at part (aff_at s p) with
+              | Some elems ->
+                add_received st part.p_array ~pids:(Iset.singleton p) ~slope:0
+                  ~base:elems
+              | None -> ()
+            done)
+      | _ -> ())
+    m.im_parts;
+  if List.exists part_has_dist m.im_parts then
+    for p = lo to hi do
+      apply_recv_one st p recv_loc arrays m (aff_at s p) tag ~update:false
+    done
+
+(* --- collectives -------------------------------------------------------- *)
+
+let apply_coll st (ev : event) =
+  match ev.e_kind with
   | Ev_coll { root; payload; site; _ } -> (
-    let loc = evs.(0).e_loc in
+    let loc = ev.e_loc in
     match payload with
     | Cp_scalar _ -> ()
-    | Cp_remap array ->
-      for p = 0 to st.n - 1 do
-        received st p array := Iset.empty
-      done
+    | Cp_remap array -> Hashtbl.remove st.received array
     | Cp_section { cs_array; cs_triplets; cs_dist_dim; cs_owned_root } -> (
       match (cs_triplets, cs_dist_dim, root) with
       | Some tl, Some d, Some r when List.length tl > d ->
         let elems = Iset.of_triplet (List.nth tl d) in
-        let valid = Iset.union cs_owned_root !(received st r cs_array) in
+        let valid = Iset.union cs_owned_root (received_at st cs_array r) in
         if not (Iset.subset elems valid) then
           add st ~loc ~proc:r ~site Finding.Error "bcast-unowned-data"
             (Fmt.str
@@ -200,12 +489,135 @@ let apply_coll st (evs : event array) =
                 has received"
                r cs_array
                (Iset.to_string (Iset.diff elems valid)));
-        for p = 0 to st.n - 1 do
-          let rc = received st p cs_array in
-          rc := Iset.union !rc elems
-        done
+        add_received st cs_array ~pids:(Iset.range 0 (st.n - 1)) ~slope:0
+          ~base:elems
       | _ -> ()))
   | _ -> assert false
+
+(* --- group engine ------------------------------------------------------- *)
+
+let sort_groups st =
+  st.groups <- List.sort (fun a b -> compare a.g_lo b.g_lo) st.groups
+
+let normalize st =
+  sort_groups st;
+  let rec merge = function
+    | a :: b :: rest when a.g_cur = b.g_cur && b.g_lo = a.g_hi + 1 ->
+      a.g_hi <- b.g_hi;
+      merge (a :: rest)
+    | a :: rest -> a :: merge rest
+    | [] -> []
+  in
+  st.groups <- merge st.groups
+
+(* Carve the lowest pid off so it acts first, as in the dense
+   pid-ascending round. *)
+let split_singleton st g =
+  let s = { g_lo = g.g_lo; g_hi = g.g_lo; g_cur = g.g_cur; g_seen = false } in
+  g.g_lo <- g.g_lo + 1;
+  st.groups <- s :: st.groups
+
+(* The event covers only part of the group: split at its boundaries. *)
+let split_at_event st g (ev : event) =
+  let cuts =
+    List.sort_uniq compare
+      (List.filter
+         (fun c -> c > g.g_lo && c <= g.g_hi)
+         [ ev.e_plo; ev.e_phi + 1 ])
+  in
+  List.iter
+    (fun c ->
+      let upper =
+        { g_lo = c; g_hi = g.g_hi; g_cur = g.g_cur; g_seen = false }
+      in
+      g.g_hi <- c - 1;
+      st.groups <- upper :: st.groups)
+    (List.rev cuts)
+
+let advance st (evs : event array) g =
+  let len = Array.length evs in
+  let continue_ = ref true in
+  while !continue_ do
+    if g.g_cur >= len then begin
+      g.g_seen <- true;
+      continue_ := false
+    end
+    else begin
+      let ev = evs.(g.g_cur) in
+      if ev.e_phi < g.g_lo || ev.e_plo > g.g_hi then g.g_cur <- g.g_cur + 1
+      else if ev.e_plo > g.g_lo || ev.e_phi < g.g_hi then begin
+        split_at_event st g ev;
+        continue_ := false  (* the pump re-picks the lowest unseen piece *)
+      end
+      else
+        match ev.e_kind with
+        | Ev_assume _ -> g.g_cur <- g.g_cur + 1  (* applied up front *)
+        | Ev_coll _ ->
+          g.g_seen <- true;
+          continue_ := false
+        | Ev_send { dest = None; tag; parts } ->
+          if g.g_lo < g.g_hi then begin
+            (* wild sends queue in pid order; keep dense FIFO *)
+            split_singleton st g;
+            continue_ := false
+          end
+          else begin
+            Hashtbl.replace st.fuzzy tag ();
+            send_checks st ~plo:g.g_lo ~phi:g.g_hi ev.e_loc tag parts;
+            push_msg st ~tag ~dest:None ~senders:(Iset.singleton g.g_lo)
+              ~parts ~loc:ev.e_loc;
+            g.g_cur <- g.g_cur + 1;
+            st.progress <- true
+          end
+        | Ev_send { dest = Some d; tag; parts } ->
+          send_checks st ~plo:g.g_lo ~phi:g.g_hi ev.e_loc tag parts;
+          push_msg st ~tag ~dest:(Some d)
+            ~senders:(Iset.range g.g_lo g.g_hi) ~parts ~loc:ev.e_loc;
+          g.g_cur <- g.g_cur + 1;
+          st.progress <- true
+        | Ev_recv { src; tag; arrays } ->
+          if g.g_lo = g.g_hi then begin
+            let p = g.g_lo in
+            let src_c = Option.map (fun s -> aff_at s p) src in
+            match match_one st p src_c tag with
+            | Some (m, sdr) ->
+              consume m (Iset.singleton sdr);
+              apply_recv_one st p ev.e_loc arrays m sdr tag ~update:true;
+              g.g_cur <- g.g_cur + 1;
+              st.progress <- true
+            | None ->
+              g.g_seen <- true;
+              continue_ := false
+          end
+          else (
+            match src with
+            | Some s -> (
+              match match_group st ~lo:g.g_lo ~hi:g.g_hi s tag with
+              | `All m ->
+                consume m (image_of_interval s ~lo:g.g_lo ~hi:g.g_hi);
+                apply_recv_group st ~lo:g.g_lo ~hi:g.g_hi ev.e_loc arrays m
+                  s tag;
+                g.g_cur <- g.g_cur + 1;
+                st.progress <- true
+              | `Split ->
+                split_singleton st g;
+                continue_ := false
+              | `None ->
+                g.g_seen <- true;
+                continue_ := false)
+            | None ->
+              split_singleton st g;
+              continue_ := false)
+    end
+  done
+
+let rec pump st evs =
+  sort_groups st;
+  match List.find_opt (fun g -> not g.g_seen) st.groups with
+  | None -> ()
+  | Some g ->
+    advance st evs g;
+    pump st evs
 
 (* --- deadlock reporting (mirrors Scheduler.wait_for_graph) ------------ *)
 
@@ -235,65 +647,113 @@ let find_cycle edges n =
   done;
   !cycle
 
-let report_quiescence st (blocked : (int * event) list) =
+(* Expanding the wait-for graph per pid is how the dense replay reported
+   deadlocks; keep that (texts included) up to 2048 processors and fall
+   back to an interval description at ensemble scales. *)
+let expand_limit = 2048
+
+let report_quiescence st (evs : event array) (blocked_groups : group list) =
   let n = st.n in
-  let blocked_tbl = Hashtbl.create 8 in
-  List.iter (fun (p, ev) -> Hashtbl.replace blocked_tbl p ev) blocked;
-  let describe (p, ev) =
-    match ev.e_kind with
-    | Ev_recv { src; tag; _ } ->
-      Fmt.str "p%d waits on recv%s {tag %d}%s" p
-        (match src with Some s -> Fmt.str " from p%d" s | None -> "")
-        tag
-        (if ev.e_loc <> Loc.none then Fmt.str " [%a]" Loc.pp ev.e_loc else "")
-    | Ev_coll { site; label; _ } ->
-      Fmt.str "p%d waits at collective site %d (%s)%s" p site label
-        (if ev.e_loc <> Loc.none then Fmt.str " [%a]" Loc.pp ev.e_loc else "")
-    | _ -> Fmt.str "p%d blocked" p
-  in
-  let edges = Array.make n [] in
-  List.iter
-    (fun (p, ev) ->
-      edges.(p) <-
-        (match ev.e_kind with
-        | Ev_recv { src = Some s; _ } -> [ s ]
-        | Ev_recv { src = None; _ } ->
-          List.filter (fun q -> q <> p) (List.init n Fun.id)
-        | Ev_coll { id; _ } ->
-          (* waits on every processor not parked at the same emission *)
-          List.filter
-            (fun q ->
-              q <> p
-              &&
-              match Hashtbl.find_opt blocked_tbl q with
-              | Some { e_kind = Ev_coll { id = id'; _ }; _ } -> id' <> id
-              | _ -> true)
-            (List.init n Fun.id)
-        | _ -> []))
-    blocked;
-  let cycle_txt =
-    match find_cycle edges n with
-    | Some c ->
-      Fmt.str "; wait cycle: %s"
-        (String.concat " -> " (List.map (fun p -> Fmt.str "p%d" p) c))
-    | None -> ""
-  in
   let all_fuzzy =
-    blocked <> []
+    blocked_groups <> []
     && List.for_all
-         (fun (_, ev) ->
-           match ev.e_kind with
+         (fun g ->
+           match evs.(g.g_cur).e_kind with
            | Ev_recv { tag; _ } -> Hashtbl.mem st.fuzzy tag
            | _ -> false)
-         blocked
+         blocked_groups
   in
   let loc =
-    match blocked with (_, ev) :: _ -> ev.e_loc | [] -> Loc.none
+    match blocked_groups with
+    | g :: _ -> evs.(g.g_cur).e_loc
+    | [] -> Loc.none
   in
   let msg =
-    Fmt.str "ensemble reaches quiescence with blocked processors: %s%s"
-      (String.concat "; " (List.map describe blocked))
-      cycle_txt
+    if n <= expand_limit then begin
+      let blocked =
+        List.concat_map
+          (fun g ->
+            List.init (g.g_hi - g.g_lo + 1) (fun i -> (g.g_lo + i, g)))
+          blocked_groups
+      in
+      let describe (p, g) =
+        let ev = evs.(g.g_cur) in
+        match ev.e_kind with
+        | Ev_recv { src; tag; _ } ->
+          Fmt.str "p%d waits on recv%s {tag %d}%s" p
+            (match src with
+            | Some s -> Fmt.str " from p%d" (aff_at s p)
+            | None -> "")
+            tag
+            (if ev.e_loc <> Loc.none then Fmt.str " [%a]" Loc.pp ev.e_loc
+             else "")
+        | Ev_coll { site; label; _ } ->
+          Fmt.str "p%d waits at collective site %d (%s)%s" p site label
+            (if ev.e_loc <> Loc.none then Fmt.str " [%a]" Loc.pp ev.e_loc
+             else "")
+        | _ -> Fmt.str "p%d blocked" p
+      in
+      let blocked_tbl = Hashtbl.create 8 in
+      List.iter (fun (p, g) -> Hashtbl.replace blocked_tbl p g) blocked;
+      let edges = Array.make n [] in
+      List.iter
+        (fun (p, g) ->
+          edges.(p) <-
+            (match evs.(g.g_cur).e_kind with
+            | Ev_recv { src = Some s; _ } ->
+              let q = aff_at s p in
+              if q >= 0 && q < n then [ q ] else []
+            | Ev_recv { src = None; _ } ->
+              List.filter (fun q -> q <> p) (List.init n Fun.id)
+            | Ev_coll { id; _ } ->
+              (* waits on every processor not parked at the same emission *)
+              List.filter
+                (fun q ->
+                  q <> p
+                  &&
+                  match Hashtbl.find_opt blocked_tbl q with
+                  | Some g' -> (
+                    match evs.(g'.g_cur).e_kind with
+                    | Ev_coll { id = id'; _ } -> id' <> id
+                    | _ -> true)
+                  | None -> true)
+                (List.init n Fun.id)
+            | _ -> []))
+        blocked;
+      let cycle_txt =
+        match find_cycle edges n with
+        | Some c ->
+          Fmt.str "; wait cycle: %s"
+            (String.concat " -> " (List.map (fun p -> Fmt.str "p%d" p) c))
+        | None -> ""
+      in
+      Fmt.str "ensemble reaches quiescence with blocked processors: %s%s"
+        (String.concat "; " (List.map describe blocked))
+        cycle_txt
+    end
+    else begin
+      let describe g =
+        let span =
+          if g.g_lo = g.g_hi then Fmt.str "p%d" g.g_lo
+          else Fmt.str "p%d..p%d" g.g_lo g.g_hi
+        in
+        let ev = evs.(g.g_cur) in
+        match ev.e_kind with
+        | Ev_recv { src; tag; _ } ->
+          Fmt.str "%s wait on recv%s {tag %d}%s" span
+            (match src with
+            | Some s -> Fmt.str " from %a" pp_aff s
+            | None -> "")
+            tag
+            (if ev.e_loc <> Loc.none then Fmt.str " [%a]" Loc.pp ev.e_loc
+             else "")
+        | Ev_coll { site; label; _ } ->
+          Fmt.str "%s wait at collective site %d (%s)" span site label
+        | _ -> Fmt.str "%s blocked" span
+      in
+      Fmt.str "ensemble reaches quiescence with blocked processors: %s"
+        (String.concat "; " (List.map describe blocked_groups))
+    end
   in
   if all_fuzzy then
     add st ~loc Finding.Info "unverified-comm"
@@ -313,8 +773,12 @@ let run ~nprocs ?(degrade = false) ?fuzzy_tags (events : event list) :
         | Some t -> Hashtbl.copy t
         | None -> Hashtbl.create 8);
       received = Hashtbl.create 16;
-      chans = Hashtbl.create 16;
-      wild = Hashtbl.create 4;
+      msgs = [];
+      next_seq = 0;
+      groups =
+        [ { g_lo = 0; g_hi = nprocs - 1; g_cur = 0; g_seen = false } ];
+      progress = false;
+      round = 0;
       findings = [];
       redundant_seen = Hashtbl.create 8;
     }
@@ -326,94 +790,69 @@ let run ~nprocs ?(degrade = false) ?fuzzy_tags (events : event list) :
       (fun ev ->
         match ev.e_kind with
         | Ev_assume { array; elems } ->
-          for p = 0 to nprocs - 1 do
-            let r = received st p array in
-            r := Iset.union !r elems
-          done;
+          add_received st array ~pids:(Iset.range 0 (nprocs - 1)) ~slope:0
+            ~base:elems;
           false
         | _ -> true)
       events
   in
-  let queues = Array.make nprocs [] in
-  List.iter (fun ev -> queues.(ev.e_proc) <- ev :: queues.(ev.e_proc)) events;
-  let queues = Array.map (fun l -> Array.of_list (List.rev l)) queues in
-  let cur = Array.make nprocs 0 in
-  let progress = ref true in
-  while !progress do
-    progress := false;
-    for p = 0 to nprocs - 1 do
-      let continue_ = ref true in
-      while !continue_ do
-        if cur.(p) >= Array.length queues.(p) then continue_ := false
-        else
-          let ev = queues.(p).(cur.(p)) in
-          match ev.e_kind with
-          | Ev_send { dest; tag; parts } ->
-            process_send st p ev.e_loc dest tag parts;
-            cur.(p) <- cur.(p) + 1;
-            progress := true
-          | Ev_recv { src; tag; arrays } -> (
-            match match_recv st p src tag with
-            | Some msg ->
-              apply_recv st p ev.e_loc arrays msg tag;
-              cur.(p) <- cur.(p) + 1;
-              progress := true
-            | None -> continue_ := false)
-          | Ev_coll _ -> continue_ := false
-          | Ev_assume _ ->
-            cur.(p) <- cur.(p) + 1;
-            progress := true
-      done
-    done;
+  let evs = Array.of_list events in
+  let len = Array.length evs in
+  let continue_rounds = ref true in
+  while !continue_rounds do
+    st.progress <- false;
+    st.round <- st.round + 1;
+    List.iter (fun g -> g.g_seen <- false) st.groups;
+    normalize st;
+    pump st evs;
     (* collective barrier: fire when the whole ensemble is parked at the
        same emission *)
-    let at_coll p =
-      if cur.(p) >= Array.length queues.(p) then None
+    let at_coll g =
+      if g.g_cur >= len then None
       else
-        match queues.(p).(cur.(p)).e_kind with
-        | Ev_coll { id; _ } -> Some id
+        match evs.(g.g_cur).e_kind with
+        | Ev_coll _ -> Some g.g_cur
         | _ -> None
     in
+    sort_groups st;
     let ready =
-      match at_coll 0 with
-      | Some id0 ->
-        let ok = ref true in
-        for p = 1 to nprocs - 1 do
-          if at_coll p <> Some id0 then ok := false
-        done;
-        !ok
-      | None -> false
+      match st.groups with
+      | [] -> false
+      | g0 :: rest -> (
+        match at_coll g0 with
+        | Some c0 -> List.for_all (fun g -> at_coll g = Some c0) rest
+        | None -> false)
     in
     if ready then begin
-      apply_coll st (Array.init nprocs (fun p -> queues.(p).(cur.(p))));
-      for p = 0 to nprocs - 1 do
-        cur.(p) <- cur.(p) + 1
-      done;
-      progress := true
-    end
+      (match st.groups with
+      | g0 :: _ -> apply_coll st evs.(g0.g_cur)
+      | [] -> ());
+      List.iter (fun g -> g.g_cur <- g.g_cur + 1) st.groups;
+      st.progress <- true
+    end;
+    continue_rounds := st.progress
   done;
-  let blocked = ref [] in
-  for p = nprocs - 1 downto 0 do
-    if cur.(p) < Array.length queues.(p) then
-      blocked := (p, queues.(p).(cur.(p))) :: !blocked
-  done;
-  let deadlocked = !blocked <> [] in
-  if deadlocked then report_quiescence st !blocked;
+  sort_groups st;
+  let blocked = List.filter (fun g -> g.g_cur < len) st.groups in
+  let deadlocked = blocked <> [] in
+  if deadlocked then report_quiescence st evs blocked;
   (* Undelivered messages: pure lint unless a deadlock already explains
      them (then they are consequences, not causes). *)
   if not deadlocked then begin
     let leftover = Hashtbl.create 8 in
-    let note tag (msg : chan_msg) =
-      if not (Hashtbl.mem st.fuzzy tag) then
-        if not (Hashtbl.mem leftover (tag, msg.m_loc)) then begin
-          Hashtbl.replace leftover (tag, msg.m_loc) ();
-          add st ~loc:msg.m_loc ~proc:msg.m_src ~tag Finding.Warning
+    List.iter
+      (fun m ->
+        if (not (Iset.is_empty m.im_senders))
+           && not (Hashtbl.mem st.fuzzy m.im_tag)
+           && not (Hashtbl.mem leftover (m.im_tag, m.im_loc))
+        then begin
+          Hashtbl.replace leftover (m.im_tag, m.im_loc) ();
+          let src = Option.value ~default:0 (Iset.min_elt m.im_senders) in
+          add st ~loc:m.im_loc ~proc:src ~tag:m.im_tag Finding.Warning
             "unmatched-send"
-            (Fmt.str "message sent by p%d {tag %d} is never received" msg.m_src
-               tag)
-        end
-    in
-    Hashtbl.iter (fun (_, _, tag) q -> Queue.iter (note tag) q) st.chans;
-    Hashtbl.iter (fun tag q -> Queue.iter (note tag) q) st.wild
+            (Fmt.str "message sent by p%d {tag %d} is never received" src
+               m.im_tag)
+        end)
+      (msgs_fwd st)
   end;
   st.findings

@@ -1,0 +1,93 @@
+(** Interval skeleton replay: the communication-matching half of
+    [fdc check].
+
+    The abstract walk ({!module:Absint}) emits a program skeleton — a
+    list of communication {!event}s.  Where the dense implementation
+    emitted one event per processor, an event now covers a pid
+    {e interval} [\[e_plo, e_phi\]] whose lanes differ only affinely in
+    the pid ({!aff} forms for destinations, sources, and section
+    bounds).  Replay then advances {e groups} (disjoint pid intervals,
+    initially the single group [\[0, P-1\]]) through the event list in
+    rounds, splitting a group only when its lanes genuinely diverge
+    (wildcard matches, partial event overlap, per-pid receive
+    decisions).  For the regular patterns of real node programs —
+    shifts, reflections, broadcasts from a uniform root — no split ever
+    happens and replay is O(events), independent of P.
+
+    Matching honours the dense engine's round order (pids ascend within
+    a round, each advancing until blocked): a message pushed in the
+    current round is visible to a receiver only from senders at or
+    below it, so finding attribution (which pid's text reaches the
+    report first) is byte-identical to the dense verifier.
+
+    Checks preserved from the dense engine: deadlock / quiescence
+    cycles, collective congruence (all pids at the same collective,
+    same site, agreeing root), payload validity (section bounds, rank,
+    step), wildcard degradation, redundant receives. *)
+
+open Fd_support
+open Fd_machine
+
+(** Affine pid form: [fun pid -> a*pid + b]. *)
+type aff = { a : int; b : int }
+
+val aff_at : aff -> int -> int
+val aff_const : int -> aff
+
+(** One array section of a send payload. *)
+type part = {
+  p_array : string;
+  p_triplets : (aff * aff * aff) list option;
+      (** per-dim (lo, hi, step) of the sent section, affine in the
+          SENDER pid; [None]: section not evaluable *)
+  p_dist_dim : int option;
+  p_layout : Layout.t;  (** sender's layout at emission *)
+}
+
+type recv_array = {
+  ra_name : string;
+  ra_dist_dim : int option;
+  ra_layout : Layout.t;  (** receiver's layout at emission *)
+}
+
+type coll_payload =
+  | Cp_scalar of string
+  | Cp_section of {
+      cs_array : string;
+      cs_triplets : Triplet.t list option;  (** evaluated at the root *)
+      cs_dist_dim : int option;
+      cs_owned_root : Iset.t;
+    }
+  | Cp_remap of string
+
+type kind =
+  | Ev_send of { dest : aff option; tag : int; parts : part list }
+  | Ev_recv of { src : aff option; tag : int; arrays : recv_array list }
+  | Ev_coll of {
+      id : int;
+      site : int;
+      label : string;
+      root : int option;
+      payload : coll_payload;
+    }
+  | Ev_assume of { array : string; elems : Iset.t }
+      (** data conservatively assumed delivered by communication inside
+          a region the walker could not verify *)
+
+(** An event executed identically (up to the affine forms) by every pid
+    in [\[e_plo, e_phi\]]. *)
+type event = { e_plo : int; e_phi : int; e_kind : kind; e_loc : Loc.t }
+
+(** Evaluate an affine section triplet at a concrete (sender) pid. *)
+val triplet_at : aff * aff * aff -> int -> Triplet.t
+
+(** Replay the skeleton for [nprocs] processors and report findings.
+    [degrade] marks the stream as partial (deadlock verdicts soften to
+    quiescence info); [fuzzy_tags] are tags whose matching the walker
+    could not verify. *)
+val run :
+  nprocs:int ->
+  ?degrade:bool ->
+  ?fuzzy_tags:(int, unit) Hashtbl.t ->
+  event list ->
+  Finding.t list

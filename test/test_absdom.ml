@@ -1,0 +1,356 @@
+(* Property tests for the compressed ensemble value domain: every
+   segment-level fast path in Absdom must be equivalent, by
+   concretization, to applying the pointwise semantics lane-by-lane.
+   The pointwise reference is Absdom itself at n = 1 (a [Uni] value has
+   no fast path to take), so the compressed algebra is tested against
+   the same single source of truth the dense implementation used. *)
+
+open Fd_support
+open Fd_verify
+
+let prop ?(count = 500) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen f)
+
+(* Structural equality with NaN-tolerant floats (compare, not =). *)
+let pv_eq (a : Absdom.pv) (b : Absdom.pv) = compare a b = 0
+
+let pp_pv = function
+  | Absdom.Pint i -> Fmt.str "Pint %d" i
+  | Absdom.Preal f -> Fmt.str "Preal %g" f
+  | Absdom.Pbool b -> Fmt.str "Pbool %b" b
+  | Absdom.Punk -> "Punk"
+
+(* --- generators --------------------------------------------------------- *)
+
+(* Dyadic reals keep float arithmetic exact enough to be deterministic;
+   both sides run the identical operations anyway. *)
+let pv_gen =
+  QCheck2.Gen.(
+    frequency
+      [
+        (4, map (fun i -> Absdom.Pint i) (int_range (-9) 9));
+        (2, map (fun i -> Absdom.Preal (float_of_int i /. 2.)) (int_range (-8) 8));
+        (2, map (fun b -> Absdom.Pbool b) bool);
+        (2, return Absdom.Punk);
+      ])
+
+let n_gen = QCheck2.Gen.oneofl [ 1; 2; 3; 4; 5; 7; 8; 13; 16; 64; 97 ]
+
+(* A lane vector with realistic structure: constant runs, affine
+   stretches (my$p + b shapes), and pure noise. *)
+let dense_gen n =
+  QCheck2.Gen.(
+    let run_gen =
+      frequency
+        [
+          (3, map (fun v len -> List.init len (fun _ -> v)) pv_gen);
+          ( 2,
+            map2
+              (fun a b len -> List.init len (fun k -> Absdom.Pint ((a * k) + b)))
+              (int_range (-2) 2) (int_range (-5) 5) );
+          (1, return (fun len -> List.init len (fun _ -> Absdom.Punk)));
+        ]
+    in
+    let rec fill acc left =
+      if left <= 0 then return (Array.of_list (List.concat (List.rev acc)))
+      else
+        let* len = int_range 1 (max 1 (left / 2 + 1)) in
+        let len = min len left in
+        let* mk = run_gen in
+        fill (mk len :: acc) (left - len)
+    in
+    fill [] n)
+
+let value_gen =
+  QCheck2.Gen.(
+    let* n = n_gen in
+    let* d = dense_gen n in
+    (* exercise both the generic constructor and the uniform case *)
+    let* v =
+      frequency
+        [
+          (6, return (Absdom.of_dense d));
+          (1, map (fun pv -> Absdom.Uni pv) pv_gen);
+          (1, return (Absdom.myproc ~n));
+        ]
+    in
+    return (n, v))
+
+let pair_gen =
+  QCheck2.Gen.(
+    let* n = n_gen in
+    let* da = dense_gen n in
+    let* db = dense_gen n in
+    return (n, Absdom.of_dense da, Absdom.of_dense db))
+
+let binops =
+  Absdom.
+    [
+      (Add, "Add"); (Sub, "Sub"); (Mul, "Mul"); (Div, "Div"); (Pow, "Pow");
+      (Mod, "Mod"); (Eq, "Eq"); (Ne, "Ne"); (Lt, "Lt"); (Le, "Le");
+      (Gt, "Gt"); (Ge, "Ge"); (And, "And"); (Or, "Or"); (Max, "Max");
+      (Min, "Min"); (Join, "Join");
+    ]
+
+let unops =
+  Absdom.[ (Neg, "Neg"); (Not, "Not"); (Abs, "Abs"); (ToInt, "ToInt");
+           (ToReal, "ToReal") ]
+
+(* Pointwise reference: the n = 1 uniform path of the same module. *)
+let ref2 op a b =
+  Absdom.at (Absdom.app2 ~n:1 op (Absdom.Uni a) (Absdom.Uni b)) 0
+
+let ref1 op a = Absdom.at (Absdom.app1 ~n:1 op (Absdom.Uni a)) 0
+
+(* --- invariants of the representation ----------------------------------- *)
+
+let well_formed ~n (v : Absdom.t) =
+  match v with
+  | Absdom.Uni _ -> true
+  | Absdom.Runs segs ->
+    (* sorted contiguous exact cover of [0, n-1] *)
+    let rec cover expect = function
+      | [] -> expect = n
+      | (l, u, _) :: rest -> l = expect && u >= l && u < n && cover (u + 1) rest
+    in
+    cover 0 segs
+    (* no full-range known constant hiding as Runs (it must be Uni);
+       full-range Sconst Punk is legal: divergent-unknown *)
+    && (match segs with
+       | [ (0, u, Absdom.Sconst pv) ] when u = n - 1 -> pv = Absdom.Punk
+       | _ -> true)
+
+(* --- the properties ------------------------------------------------------ *)
+
+let test_roundtrip =
+  prop "of_dense/to_dense roundtrip + well-formed"
+    QCheck2.Gen.(
+      let* n = n_gen in
+      let* d = dense_gen n in
+      return (n, d))
+    (fun (n, d) ->
+      let v = Absdom.of_dense d in
+      well_formed ~n v
+      && Array.for_all2 (fun a b -> pv_eq a b) d (Absdom.to_dense ~n v))
+
+let test_app2 =
+  prop ~count:2000 "app2 == pointwise (all binops)"
+    QCheck2.Gen.(
+      let* n, a, b = pair_gen in
+      let* i = int_range 0 (List.length binops - 1) in
+      return (n, a, b, i))
+    (fun (n, a, b, i) ->
+      let op, opname = List.nth binops i in
+      let r = Absdom.app2 ~n op a b in
+      well_formed ~n r
+      &&
+      let da = Absdom.to_dense ~n a and db = Absdom.to_dense ~n b in
+      let dr = Absdom.to_dense ~n r in
+      Array.for_all
+        (fun p ->
+          let want = ref2 op da.(p) db.(p) in
+          pv_eq dr.(p) want
+          ||
+          (QCheck2.Test.fail_reportf
+             "%s lane %d/%d: compressed %s, pointwise %s" opname p n
+             (pp_pv dr.(p)) (pp_pv want) [@warning "-20"]))
+        (Array.init n Fun.id))
+
+let test_app1 =
+  prop ~count:1000 "app1 == pointwise (all unops)"
+    QCheck2.Gen.(
+      let* n, v = value_gen in
+      let* i = int_range 0 (List.length unops - 1) in
+      return (n, v, i))
+    (fun (n, v, i) ->
+      let op, opname = List.nth unops i in
+      let r = Absdom.app1 ~n op v in
+      well_formed ~n r
+      &&
+      let dv = Absdom.to_dense ~n v and dr = Absdom.to_dense ~n r in
+      Array.for_all
+        (fun p ->
+          let want = ref1 op dv.(p) in
+          pv_eq dr.(p) want
+          ||
+          (QCheck2.Test.fail_reportf "%s lane %d/%d: compressed %s, pointwise %s"
+             opname p n (pp_pv dr.(p)) (pp_pv want) [@warning "-20"]))
+        (Array.init n Fun.id))
+
+let test_blend =
+  prop "blend masks lanes exactly"
+    QCheck2.Gen.(
+      let* n, old_v, upd = pair_gen in
+      let* mask = dense_gen n in
+      (* active set with run structure: lanes where the mask lane is
+         Pbool true, plus every third lane *)
+      let act =
+        Iset.of_intervals
+          (List.concat
+             (List.init n (fun p ->
+                  match mask.(p) with
+                  | Absdom.Pbool true -> [ (p, p) ]
+                  | _ -> if p mod 3 = 0 then [ (p, p) ] else [])))
+      in
+      return (n, old_v, upd, act))
+    (fun (n, old_v, upd, act) ->
+      let r = Absdom.blend ~n ~act old_v upd in
+      well_formed ~n r
+      &&
+      let d_old = Absdom.to_dense ~n old_v
+      and d_upd = Absdom.to_dense ~n upd
+      and dr = Absdom.to_dense ~n r in
+      Array.for_all
+        (fun p ->
+          pv_eq dr.(p) (if Iset.mem p act then d_upd.(p) else d_old.(p)))
+        (Array.init n Fun.id))
+
+let test_select =
+  prop "select == dense table walk"
+    QCheck2.Gen.(
+      let* n = n_gen in
+      let* sel = dense_gen n in
+      let* k = int_range 1 4 in
+      let* tbl =
+        flatten_l (List.init k (fun _ -> map Absdom.of_dense (dense_gen n)))
+      in
+      return (n, Absdom.of_dense sel, Array.of_list tbl))
+    (fun (n, sel, vs) ->
+      let r = Absdom.select ~n sel vs in
+      well_formed ~n r
+      &&
+      let ds = Absdom.to_dense ~n sel and dr = Absdom.to_dense ~n r in
+      Array.for_all
+        (fun p ->
+          let want =
+            match ds.(p) with
+            | Absdom.Pint i when i >= 0 && i < Array.length vs ->
+              Absdom.at vs.(i) p
+            | _ -> Absdom.Punk
+          in
+          pv_eq dr.(p) want)
+        (Array.init n Fun.id))
+
+let test_truth =
+  prop "truth classification agrees with the lanes"
+    QCheck2.Gen.(
+      let* n, v = value_gen in
+      let* lo = int_range 0 (n - 1) in
+      let* hi = int_range lo (n - 1) in
+      return (n, v, Iset.range lo hi))
+    (fun (n, v, act) ->
+      let d = Absdom.to_dense ~n v in
+      let lane_true p = d.(p) = Absdom.Pbool true in
+      let lane_false p = d.(p) = Absdom.Pbool false in
+      let lane_bool p = lane_true p || lane_false p in
+      let acts = Iset.to_list act in
+      match Absdom.truth ~n ~act v with
+      | Absdom.T_true ->
+        (* whole-ensemble verdicts come from Uni values only *)
+        List.for_all lane_true (List.init n Fun.id)
+      | Absdom.T_false -> List.for_all lane_false (List.init n Fun.id)
+      | Absdom.T_unknown_uniform -> Absdom.is_uniform v
+      | Absdom.T_split (t, f) ->
+        Iset.is_empty (Iset.inter t f)
+        && List.for_all
+             (fun p ->
+               if lane_true p then Iset.mem p t && not (Iset.mem p f)
+               else if lane_false p then Iset.mem p f && not (Iset.mem p t)
+               else false)
+             acts
+      | Absdom.T_divergent ->
+        (not (Absdom.is_uniform v)) && not (List.for_all lane_bool acts))
+
+let test_restrict_pids =
+  prop "restrict / known_pids / int_pids match the lanes"
+    QCheck2.Gen.(
+      let* n, v = value_gen in
+      let* lo = int_range 0 (n - 1) in
+      let* hi = int_range lo (n - 1) in
+      return (n, v, lo, hi))
+    (fun (n, v, lo, hi) ->
+      let d = Absdom.to_dense ~n v in
+      let segs = Absdom.restrict ~n v (lo, hi) in
+      let covered = ref lo in
+      List.for_all
+        (fun (l, u, s) ->
+          let ok =
+            l = !covered && u <= hi
+            && List.for_all
+                 (fun p -> pv_eq (Absdom.seg_at s p) d.(p))
+                 (List.init (u - l + 1) (fun k -> l + k))
+          in
+          covered := u + 1;
+          ok)
+        segs
+      && !covered = hi + 1
+      && Iset.to_list (Absdom.known_pids ~n v)
+         = List.filter (fun p -> d.(p) <> Absdom.Punk) (List.init n Fun.id)
+      && Iset.to_list (Absdom.int_pids ~n v)
+         = List.filter
+             (fun p -> match d.(p) with Absdom.Pint _ -> true | _ -> false)
+             (List.init n Fun.id))
+
+let test_align_many =
+  prop "align_many chunks concretize to the inputs"
+    QCheck2.Gen.(
+      let* n = n_gen in
+      let* k = int_range 1 4 in
+      let* vs =
+        flatten_l (List.init k (fun _ -> map Absdom.of_dense (dense_gen n)))
+      in
+      return (n, vs))
+    (fun (n, vs) ->
+      let chunks = Absdom.align_many ~n vs in
+      let denses = List.map (Absdom.to_dense ~n) vs in
+      let covered = ref 0 in
+      List.for_all
+        (fun (l, u, segs) ->
+          let ok =
+            l = !covered && u < n
+            && List.length segs = List.length vs
+            && List.for_all2
+                 (fun s d ->
+                   List.for_all
+                     (fun p -> pv_eq (Absdom.seg_at s p) d.(p))
+                     (List.init (u - l + 1) (fun j -> l + j)))
+                 segs denses
+          in
+          covered := u + 1;
+          ok)
+        chunks
+      && !covered = n)
+
+(* Uniform-unknown and divergent-unknown must never be conflated: the
+   collective-congruence analysis lives on this distinction. *)
+let test_unknown_distinction () =
+  let n = 8 in
+  Alcotest.(check bool) "Uni Punk is uniform" true
+    (Absdom.is_uniform Absdom.unknown);
+  Alcotest.(check bool) "divergent_unknown is not uniform" false
+    (Absdom.is_uniform (Absdom.divergent_unknown ~n));
+  Alcotest.(check bool) "of_segs keeps full-range Punk divergent" false
+    (Absdom.is_uniform
+       (Absdom.of_segs ~n [ (0, n - 1, Absdom.Sconst Absdom.Punk) ]));
+  (* ...but a full-range known constant normalizes to Uni *)
+  Alcotest.(check bool) "of_segs promotes known constants" true
+    (Absdom.is_uniform
+       (Absdom.of_segs ~n [ (0, n - 1, Absdom.Sconst (Absdom.Pint 3)) ]));
+  (* singleton affine runs fold to constants *)
+  match Absdom.of_segs ~n:1 [ (0, 0, Absdom.Saff { a = 5; b = 2 }) ] with
+  | Absdom.Uni (Absdom.Pint 2) -> ()
+  | v -> Alcotest.failf "singleton affine not folded: %a" Absdom.pp v
+
+let suite =
+  [
+    test_roundtrip;
+    test_app2;
+    test_app1;
+    test_blend;
+    test_select;
+    test_truth;
+    test_restrict_pids;
+    test_align_many;
+    Alcotest.test_case "uniform vs divergent unknown" `Quick
+      test_unknown_distinction;
+  ]

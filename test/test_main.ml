@@ -13,6 +13,7 @@ let () =
       ("common", Test_common.suite);
       ("units4", Test_units4.suite);
       ("properties", Test_properties.suite);
+      ("absdom", Test_absdom.suite);
       ("faults", Test_faults.suite);
       ("verify", Test_verify.suite);
       ("trace", Test_trace.suite);

@@ -244,7 +244,8 @@ let trace_within_skeleton seed =
           (fun (e : Fd_verify.Skeleton.event) ->
             match e.Fd_verify.Skeleton.e_kind with
             | Fd_verify.Skeleton.Ev_send { dest; tag; _ } ->
-              Some (e.Fd_verify.Skeleton.e_proc, dest, tag)
+              Some (e.Fd_verify.Skeleton.e_plo, e.Fd_verify.Skeleton.e_phi,
+                    dest, tag)
             | _ -> None)
           w.Fd_verify.Absint.events
       in
@@ -257,9 +258,12 @@ let trace_within_skeleton seed =
              match e.Tr.kind with
              | Tr.Send ->
                List.exists
-                 (fun (p, dest, tag) ->
-                   p = e.Tr.proc
-                   && (dest = None || dest = Some e.Tr.peer)
+                 (fun (plo, phi, dest, tag) ->
+                   plo <= e.Tr.proc && e.Tr.proc <= phi
+                   && (match dest with
+                      | None -> true
+                      | Some d ->
+                        Fd_verify.Skeleton.aff_at d e.Tr.proc = e.Tr.peer)
                    && (tag = e.Tr.tag || Hashtbl.mem fuzzy tag))
                  skel_sends
              | _ -> true))
