@@ -9,13 +9,31 @@
 *)
 
 open Cmdliner
+module Diag = Fd_support.Diag
+module Totality = Fd_core.Totality
+
+(* Source registry: every file read through the CLI is remembered so a
+   diagnostic citing it can render a caret/underline snippet. *)
+let sources : (string, string) Hashtbl.t = Hashtbl.create 4
 
 let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+  (* an unreadable input is the user's problem (exit 2), not a crash *)
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s ->
+    Hashtbl.replace sources path s;
+    s
+  | exception Sys_error msg -> Diag.error "cannot read %s: %s" path msg
+
+let pp_diag ppf d =
+  Fmt.pf ppf "%s@." (Diag.to_string d);
+  match Hashtbl.find_opt sources d.Diag.loc.Fd_support.Loc.file with
+  | Some src -> Diag.pp_snippet ~src ppf d
+  | None -> ()
 
 let strategy_conv =
   Arg.enum
@@ -61,33 +79,67 @@ let strict_arg =
            ~doc:"Treat warnings (compiler diagnostics, check findings) as \
                  failures: nonzero exit when any are produced")
 
-(* Uniform exit-code discipline: every subcommand drains the warning
-   sink, reports it, and under --strict a clean run with warnings exits
-   nonzero.  An already-failing exit code is never masked. *)
-let drain_warnings ~strict =
-  let ws = Fd_support.Diag.take_warnings () in
-  List.iter (fun w -> Fmt.epr "%s@." (Fd_support.Diag.to_string w)) ws;
-  if strict && ws <> [] then 1 else 0
+(* Total-pipeline discipline: every subcommand body runs under
+   [Totality.protect] with a fresh per-run diagnostic sink, then maps
+   onto the documented exit-code table — 0 success, 1 check/verification
+   failure, 2 compile diagnostics, 3 simulation error, 4 contained
+   internal crash.  Nothing escapes as a bare OCaml backtrace.
 
-let wrap_code ?(strict = false) f =
-  match f () with
-  | code ->
-    let wcode = drain_warnings ~strict in
-    if code <> 0 then code else wcode
-  | exception Fd_support.Diag.Compile_error d ->
-    ignore (drain_warnings ~strict);
-    Fmt.epr "%s@." (Fd_support.Diag.to_string d);
-    1
-  | exception Fd_machine.Scheduler.Sim_error e ->
-    ignore (drain_warnings ~strict);
-    Fmt.epr "simulation failed: %s@." (Fd_machine.Scheduler.error_to_string e);
-    1
+   The fresh sink (plus discarding anything a previous invocation left
+   in the legacy global sink) fixes cross-run warning leakage between
+   consecutive [wrap_code] calls in one process, and is the shape a
+   future [fdc serve] needs. *)
+let wrap_code ?(strict = false) ?(json = false) f =
+  Diag.clear Diag.global;
+  let sink = Diag.sink () in
+  let outcome = Totality.protect (fun () -> f sink) in
+  let warnings = Diag.take_warnings_of sink @ Diag.take_warnings () in
+  List.iter (fun w -> Fmt.epr "%a" pp_diag w) warnings;
+  match outcome with
+  | Totality.Exit code ->
+    if code = 0 && strict && warnings <> [] then Totality.check_failed else code
+  | Totality.Diagnostics ds ->
+    let ds = Diag.sort ds in
+    if json then
+      Fmt.pr "%s@." (Fd_support.Json.to_string (Diag.report_json ds))
+    else List.iter (fun d -> Fmt.epr "%a" pp_diag d) ds;
+    Totality.compile_failed
+  | Totality.Sim_failed msg ->
+    Fmt.epr "simulation failed: %s@." msg;
+    Totality.sim_failed
+  | Totality.Crash c ->
+    if json then
+      Fmt.pr "%s@." (Fd_support.Json.to_string (Totality.crash_to_json c));
+    Fmt.epr "%a" Totality.pp_crash c;
+    Totality.crashed
 
-let wrap f = wrap_code (fun () -> f (); 0)
+let wrap f = wrap_code (fun sink -> f sink; 0)
+
+(* --- resource budgets (fdc run / fdc check / fdc fuzz) ------------------ *)
+
+let budget_steps_arg =
+  Arg.(value & opt (some int) None
+       & info [ "budget-steps" ] ~docv:"N"
+           ~doc:"Stop the simulation/analysis gracefully after N work steps \
+                 and report the partial result")
+
+let budget_events_arg =
+  Arg.(value & opt (some int) None
+       & info [ "budget-events" ] ~docv:"N"
+           ~doc:"Stop gracefully after N communication events")
+
+let budget_wall_arg =
+  Arg.(value & opt (some float) None
+       & info [ "budget-wall" ] ~docv:"SECONDS"
+           ~doc:"Stop gracefully after this much wall-clock time")
+
+let budget_of steps events wall =
+  if steps = None && events = None && wall = None then None
+  else Some (Fd_support.Budget.make ?steps ?events ?wall ())
 
 let ast_cmd =
   let run file =
-    wrap (fun () ->
+    wrap (fun _sink ->
         let cp = Fd_core.Driver.check_source ~file (read_file file) in
         List.iter
           (fun cu -> Fmt.pr "%a@." Fd_frontend.Ast_printer.pp_punit cu.Fd_frontend.Sema.unit_)
@@ -98,7 +150,7 @@ let ast_cmd =
 
 let acg_cmd =
   let run file =
-    wrap (fun () ->
+    wrap (fun _sink ->
         let cp = Fd_core.Driver.check_source ~file (read_file file) in
         let acg = Fd_callgraph.Acg.build cp in
         Fmt.pr "%a@." Fd_callgraph.Acg.pp acg;
@@ -110,9 +162,11 @@ let acg_cmd =
 
 let spmd_cmd =
   let run file nprocs strategy remap no_coll =
-    wrap (fun () ->
+    wrap (fun sink ->
         let opts = opts_of nprocs strategy remap no_coll in
-        let compiled = Fd_core.Driver.compile_source ~opts ~file (read_file file) in
+        let compiled =
+          Fd_core.Driver.compile_source ~sink ~opts ~file (read_file file)
+        in
         Fmt.pr "%a@." Fd_machine.Node.pp_program compiled.Fd_core.Codegen.program)
   in
   Cmd.v (Cmd.info "spmd" ~doc:"Compile and print the SPMD node program")
@@ -169,8 +223,8 @@ let trace_out_arg =
 
 let run_cmd =
   let run file nprocs strategy remap no_coll trace no_agg json trace_out
-      fault_seed drop dup delay strict =
-    wrap_code ~strict (fun () ->
+      fault_seed drop dup delay bsteps bevents bwall strict =
+    wrap_code ~strict ~json (fun sink ->
         let opts = opts_of ~no_agg nprocs strategy remap no_coll in
         let tr =
           match trace_out with
@@ -183,8 +237,8 @@ let run_cmd =
             ?trace:tr ()
         in
         let r =
-          Fd_core.Driver.run_source ~opts ~machine ?tracer:tr ~file
-            (read_file file)
+          Fd_core.Driver.run_source ~sink ~opts ~machine ?tracer:tr
+            ?budget:(budget_of bsteps bevents bwall) ~file (read_file file)
         in
         (match (trace_out, tr) with
         | Some path, Some tr -> write_chrome_trace ~nprocs tr path
@@ -201,6 +255,10 @@ let run_cmd =
               @ [ ("verified", Fd_support.Json.Bool (Fd_core.Driver.verified r));
                   ( "mismatches",
                     Fd_support.Json.Int (List.length r.Fd_core.Driver.mismatches) );
+                  ( "partial",
+                    match r.Fd_core.Driver.partial with
+                    | Some reason -> Fd_support.Json.Str reason
+                    | None -> Fd_support.Json.Null );
                   ("speedup", Fd_support.Json.Float (Fd_core.Driver.speedup r)) ])
           in
           Fmt.pr "%s@." (Fd_support.Json.to_string j)
@@ -213,6 +271,13 @@ let run_cmd =
           Fmt.pr "%a@." Fd_machine.Stats.pp r.Fd_core.Driver.stats;
           List.iter (Fmt.pr "output: %s@.")
             (Fd_machine.Stats.outputs r.Fd_core.Driver.stats);
+          match r.Fd_core.Driver.partial with
+          | Some reason ->
+            Fmt.pr
+              "simulation stopped early: %s; the statistics above are a \
+               prefix and verification was skipped@."
+              reason
+          | None ->
           if Fd_core.Driver.verified r then Fmt.pr "verification: OK@."
           else begin
             Fmt.pr "verification FAILED (%d mismatches):@."
@@ -228,19 +293,20 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Compile, simulate and verify")
     Term.(const run $ file_arg $ nprocs_arg $ strategy_arg $ remap_arg $ collectives_arg
           $ trace_arg $ no_agg_arg $ json_arg $ trace_out_arg $ fault_seed_arg
-          $ drop_arg $ dup_arg $ delay_arg $ strict_arg)
+          $ drop_arg $ dup_arg $ delay_arg $ budget_steps_arg $ budget_events_arg
+          $ budget_wall_arg $ strict_arg)
 
 (* --- fdc trace: ensemble tracing & metrics ------------------------------ *)
 
 let trace_cmd =
   let run file nprocs strategy remap no_coll cap out matrix summary skeleton
       metrics strict =
-    wrap_code ~strict (fun () ->
+    wrap_code ~strict (fun sink ->
         let opts = opts_of nprocs strategy remap no_coll in
         let tr = Fd_trace.Trace.create ~capacity:cap () in
         let machine = Fd_machine.Config.make ~nprocs ~trace:tr () in
         let r =
-          Fd_core.Driver.run_source ~opts ~machine ~tracer:tr ~file
+          Fd_core.Driver.run_source ~sink ~opts ~machine ~tracer:tr ~file
             (read_file file)
         in
         let stats = r.Fd_core.Driver.stats in
@@ -323,7 +389,7 @@ let oracle_cmd =
       ("high", Fd_machine.Fault.make ~seed:0 ~drop:0.3 ~dup:0.2 ~delay:1e-3 ()) ]
   in
   let run files nprocs seeds =
-    wrap_code (fun () ->
+    wrap_code (fun sink ->
         let failures = ref 0 in
         let opts = { Fd_core.Options.default with Fd_core.Options.nprocs } in
         List.iter
@@ -337,10 +403,10 @@ let oracle_cmd =
                     let faults = { plan with Fd_machine.Fault.seed } in
                     let machine = Fd_machine.Config.make ~nprocs ~faults () in
                     let outcome =
-                      match Fd_core.Driver.run ~opts ~machine cp with
+                      match Fd_core.Driver.run ~sink ~opts ~machine cp with
                       | r ->
                         let j1 = Fd_machine.Stats.to_json r.Fd_core.Driver.stats in
-                        let r2 = Fd_core.Driver.run ~opts ~machine cp in
+                        let r2 = Fd_core.Driver.run ~sink ~opts ~machine cp in
                         let j2 = Fd_machine.Stats.to_json r2.Fd_core.Driver.stats in
                         if not (Fd_core.Driver.verified r) then
                           Error
@@ -411,12 +477,12 @@ let reaching_hook cp =
   | exception _ -> None
 
 let check_cmd =
-  let run file nprocs strategy remap no_coll json strict =
-    wrap_code ~strict (fun () ->
+  let run file nprocs strategy remap no_coll json bsteps bevents bwall strict =
+    wrap_code ~strict ~json (fun sink ->
         let src = read_file file in
         let cp = Fd_core.Driver.check_source ~file src in
         let opts = opts_of nprocs strategy remap no_coll in
-        let compiled = Fd_core.Driver.compile ~opts cp in
+        let compiled = Fd_core.Driver.compile ~sink ~opts cp in
         let prog, unapplied =
           Fd_verify.Break.apply compiled.Fd_core.Codegen.program
             (Fd_verify.Break.scan src)
@@ -425,7 +491,10 @@ let check_cmd =
           (Fmt.epr "fdc check: !break directive %S did not apply@.")
           unapplied;
         let lint = Fd_verify.Lint.run ?reaching:(reaching_hook cp) cp in
-        let vr = Fd_verify.Verify.check_node ~nprocs prog in
+        let vr =
+          Fd_verify.Verify.check_node
+            ?budget:(budget_of bsteps bevents bwall) ~nprocs prog
+        in
         let findings =
           Fd_verify.Finding.sort (lint @ vr.Fd_verify.Verify.findings)
         in
@@ -463,13 +532,16 @@ let check_cmd =
              is analyzed symbolically per interval of processors, so large \
              -p (65536 and beyond) costs the same as -p 4")
     Term.(const run $ file_arg $ nprocs_arg $ strategy_arg $ remap_arg
-          $ collectives_arg $ json_arg $ strict_arg)
+          $ collectives_arg $ json_arg $ budget_steps_arg $ budget_events_arg
+          $ budget_wall_arg $ strict_arg)
 
 let passes_cmd =
   let run file nprocs strategy remap no_coll dump_after verify json strict =
-    wrap_code ~strict (fun () ->
+    wrap_code ~strict ~json (fun sink ->
         let opts = opts_of nprocs strategy remap no_coll in
-        let ctx = Fd_core.Pipeline.of_source ~opts ~file (read_file file) in
+        let ctx =
+          Fd_core.Pipeline.of_source ~sink ~opts ~file (read_file file)
+        in
         let report = Fd_core.Pipeline.run ~verify ~dump_after ctx in
         if json then
           Fmt.pr "%s@."
@@ -495,9 +567,11 @@ let passes_cmd =
 
 let exports_cmd =
   let run file nprocs strategy remap no_coll =
-    wrap (fun () ->
+    wrap (fun sink ->
         let opts = opts_of nprocs strategy remap no_coll in
-        let compiled = Fd_core.Driver.compile_source ~opts ~file (read_file file) in
+        let compiled =
+          Fd_core.Driver.compile_source ~sink ~opts ~file (read_file file)
+        in
         let st = compiled.Fd_core.Codegen.state in
         Hashtbl.iter
           (fun _name ex -> Fmt.pr "%a@.@." Fd_core.Exports.pp ex)
@@ -510,7 +584,7 @@ let exports_cmd =
 
 let overlap_cmd =
   let run file nprocs =
-    wrap (fun () ->
+    wrap (fun _sink ->
         let cp = Fd_core.Driver.check_source ~file (read_file file) in
         let opts = { Fd_core.Options.default with Fd_core.Options.nprocs } in
         let rows = Fd_core.Overlap.analyze opts cp in
@@ -521,7 +595,7 @@ let overlap_cmd =
 
 let recompile_cmd =
   let run before after =
-    wrap (fun () ->
+    wrap (fun _sink ->
         let procs, total =
           Fd_core.Recompile.after_edit ~before:(read_file before)
             ~after:(read_file after) ()
@@ -537,7 +611,7 @@ let recompile_cmd =
 
 let seq_cmd =
   let run file =
-    wrap (fun () ->
+    wrap (fun _sink ->
         let cp = Fd_core.Driver.check_source ~file (read_file file) in
         let r = Fd_machine.Seq_interp.run cp in
         List.iter (Fmt.pr "output: %s@.") r.Fd_machine.Seq_interp.outputs;
@@ -550,9 +624,11 @@ let seq_cmd =
 
 let partition_cmd =
   let run file nprocs strategy remap no_coll =
-    wrap (fun () ->
+    wrap (fun sink ->
         let opts = opts_of nprocs strategy remap no_coll in
-        let compiled = Fd_core.Driver.compile_source ~opts ~file (read_file file) in
+        let compiled =
+          Fd_core.Driver.compile_source ~sink ~opts ~file (read_file file)
+        in
         List.iter
           (fun (proc, line) -> Fmt.pr "%-12s %s@." proc line)
           compiled.Fd_core.Codegen.state.Fd_core.Codegen.partition_log)
@@ -563,47 +639,83 @@ let partition_cmd =
     Term.(const run $ file_arg $ nprocs_arg $ strategy_arg $ remap_arg $ collectives_arg)
 
 let fuzz_cmd =
-  let run cases seed two_d =
-    wrap (fun () ->
-        let st = Random.State.make [| seed |] in
-        let failures = ref 0 in
-        for case = 1 to cases do
-          let src =
-            if two_d then Fd_workloads.Gen.random_source2d st
-            else Fd_workloads.Gen.random_source st
+  let pp_verdict ppf = function
+    | Fd_fuzz.Harness.Accepted -> Fmt.pf ppf "accepted (compiled and verified)"
+    | Fd_fuzz.Harness.Rejected -> Fmt.pf ppf "rejected (located diagnostics)"
+    | Fd_fuzz.Harness.Failed k ->
+      Fmt.pf ppf "FAILED: %s (%s)"
+        (Fd_fuzz.Harness.kind_name k)
+        (Fd_fuzz.Harness.kind_detail k)
+  in
+  let run iters seed repro nprocs bsteps bevents bwall =
+    wrap_code (fun _sink ->
+        (* --budget-steps/--budget-events tighten the per-case budget;
+           --budget-wall bounds the whole campaign (per-case wall stays
+           at the default 2s) *)
+        let budget =
+          match (bsteps, bevents) with
+          | None, None -> None
+          | _ -> Some (Fd_support.Budget.make ?steps:bsteps ?events:bevents ~wall:2.0 ())
+        in
+        match repro with
+        | Some case_seed ->
+          let r = Fd_fuzz.Harness.repro ?budget ~nprocs case_seed in
+          Fmt.pr "seed %d [%s]:@.%s@.@.%a@." case_seed
+            (Fd_core.Options.strategy_name r.Fd_fuzz.Harness.r_strategy)
+            r.Fd_fuzz.Harness.r_src pp_verdict r.Fd_fuzz.Harness.r_verdict;
+          (match r.Fd_fuzz.Harness.r_shrunk with
+          | Some shrunk -> Fmt.pr "shrunk reproducer:@.%s@." shrunk
+          | None -> ());
+          (match r.Fd_fuzz.Harness.r_verdict with
+          | Fd_fuzz.Harness.Failed _ -> 1
+          | _ -> 0)
+        | None ->
+          let rep =
+            Fd_fuzz.Harness.campaign ?budget ?wall:bwall ~nprocs
+              ~log:(Fmt.epr "fuzz: %s@.") ~iters ~seed ()
           in
           List.iter
-            (fun strategy ->
-              let opts = { Fd_core.Options.default with Fd_core.Options.strategy } in
-              match Fd_core.Driver.run_source ~opts src with
-              | r ->
-                if not (Fd_core.Driver.verified r) then begin
-                  incr failures;
-                  Fmt.pr "case %d MISMATCH under %s:@.%s@." case
-                    (Fd_core.Options.strategy_name strategy)
-                    src
-                end
-              | exception e ->
-                incr failures;
-                Fmt.pr "case %d EXCEPTION (%s) under %s:@.%s@." case
-                  (Printexc.to_string e)
-                  (Fd_core.Options.strategy_name strategy)
-                  src)
-            [ Fd_core.Options.Interproc; Fd_core.Options.Immediate;
-              Fd_core.Options.Runtime_resolution ]
-        done;
-        Fmt.pr "fuzz: %d cases x 3 strategies, %d failures@." cases !failures;
-        if !failures > 0 then exit 1)
+            (fun (fl : Fd_fuzz.Harness.failure) ->
+              Fmt.pr
+                "FAIL seed %d: %s (%s); replay with `fdc fuzz --repro %d`; \
+                 shrunk reproducer:@.%s@."
+                fl.Fd_fuzz.Harness.f_seed fl.Fd_fuzz.Harness.f_kind
+                fl.Fd_fuzz.Harness.f_detail fl.Fd_fuzz.Harness.f_seed
+                fl.Fd_fuzz.Harness.f_src)
+            rep.Fd_fuzz.Harness.failures;
+          Fmt.pr
+            "fuzz: %d cases in %.1fs (%.0f execs/sec), %d accepted, %d \
+             rejected, %d failures@."
+            rep.Fd_fuzz.Harness.iters rep.Fd_fuzz.Harness.elapsed
+            rep.Fd_fuzz.Harness.execs_per_sec rep.Fd_fuzz.Harness.accepted
+            rep.Fd_fuzz.Harness.rejected
+            (List.length rep.Fd_fuzz.Harness.failures);
+          if rep.Fd_fuzz.Harness.failures <> [] then 1 else 0)
   in
-  let cases_arg =
-    Arg.(value & opt int 50 & info [ "cases" ] ~doc:"Number of generated programs")
+  let iters_arg =
+    Arg.(value & opt int 100
+         & info [ "iters" ] ~docv:"N" ~doc:"Number of fuzz cases to run")
   in
-  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Generator seed") in
-  let two_d_arg = Arg.(value & flag & info [ "2d" ] ~doc:"Generate 2-D programs") in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Campaign base seed")
+  in
+  let repro_arg =
+    Arg.(value & opt (some int) None
+         & info [ "repro" ] ~docv:"SEED"
+             ~doc:"Replay one case by its seed (printed by a failing \
+                   campaign) instead of running a campaign")
+  in
   Cmd.v
     (Cmd.info "fuzz"
-       ~doc:"Differential fuzzing: random programs, every strategy, verified against sequential execution")
-    Term.(const run $ cases_arg $ seed_arg $ two_d_arg)
+       ~doc:"Differential fuzzing of the total pipeline: seeded random \
+             programs, token- and AST-level mutations producing ill-formed \
+             variants, each case compiled and simulated under a resource \
+             budget. No case may escape as an uncaught exception; rejections \
+             must carry located diagnostics; accepted programs must verify \
+             against sequential execution or be flagged by the static \
+             checker. Failing cases are shrunk and replayable by seed")
+    Term.(const run $ iters_arg $ seed_arg $ repro_arg $ nprocs_arg
+          $ budget_steps_arg $ budget_events_arg $ budget_wall_arg)
 
 let () =
   let doc = "mini-Fortran D interprocedural compiler and MIMD simulator" in

@@ -95,7 +95,7 @@ let eval env a =
     (fun acc (v, c) ->
       match env v with
       | Some x -> acc + (c * x)
-      | None -> invalid_arg ("Affine.eval: unbound variable " ^ v))
+      | None -> Diag.internal ~pass:"analysis" "Affine.eval: unbound variable %s" v)
     a.const a.coeffs
 
 (* Reconstruct an AST expression (for code generation). *)

@@ -19,7 +19,8 @@ let get (t : t) p = t.(p)
 let map f (t : t) : t = Array.map f t
 
 let map2 f (a : t) (b : t) : t =
-  if Array.length a <> Array.length b then invalid_arg "Procset.map2";
+  if Array.length a <> Array.length b then
+    Diag.internal ~pass:"analysis" "Procset.map2: length mismatch";
   Array.init (Array.length a) (fun p -> f a.(p) b.(p))
 
 let union = map2 Iset.union

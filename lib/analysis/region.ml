@@ -33,7 +33,7 @@ let rank r = r.rank
 let boxes r = r.boxes
 
 let check_rank a b =
-  if a.rank <> b.rank then invalid_arg "Region: rank mismatch"
+  if a.rank <> b.rank then Diag.internal ~pass:"analysis" "region rank mismatch"
 
 let box_inter (a : box) (b : box) : box =
   Array.init (Array.length a) (fun i -> Triplet.inter a.(i) b.(i))

@@ -146,7 +146,7 @@ let common_alias_sites (acg : Acg.t) (effects : Side_effects.t) : alias_site lis
 
 (* Check the whole program; raises on Fortran D's forbidden combination,
    warns on double-modification of aliases. *)
-let check (acg : Acg.t) (effects : Side_effects.t) : alias_site list =
+let check ?(sink = Diag.global) (acg : Acg.t) (effects : Side_effects.t) : alias_site list =
   let redist = redistributes acg in
   let sites = alias_sites acg @ common_alias_sites acg effects in
   List.iter
@@ -167,7 +167,7 @@ let check (acg : Acg.t) (effects : Side_effects.t) : alias_site list =
       let gmod = Side_effects.gmod effects site.al_callee in
       let modified = List.filter (fun f -> Side_effects.S.mem f gmod) site.al_formals in
       if List.length modified >= 2 then
-        Diag.warn ~loc:site.al_loc
+        Diag.warn_to sink ~loc:site.al_loc
           "aliased formals %s of %s are both modified; behaviour depends on evaluation order"
           (String.concat "," modified)
           site.al_callee)

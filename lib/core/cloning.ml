@@ -80,11 +80,11 @@ let duplicate_unit (u : Ast.punit) (new_name : string) : Ast.punit =
 (* One cloning step: find the first procedure (in topological order) whose
    call sites partition into more than one signature class; split it.
    Returns None when the program is stable. *)
-let step (opts : Options.t) (cp : Sema.checked_program) (origin : string SM.t) :
+let step sink (opts : Options.t) (cp : Sema.checked_program) (origin : string SM.t) :
     (Ast.program * string SM.t * int) option =
   let acg = Acg.build cp in
   if Acg.is_recursive acg then Diag.error "recursive programs are not supported";
-  let rd = Reaching_decomps.compute acg in
+  let rd = Reaching_decomps.compute ~sink acg in
   let effects = Side_effects.compute acg in
   let program = List.map (fun cu -> cu.Sema.unit_) cp.Sema.units in
   let try_proc pname =
@@ -104,7 +104,8 @@ let step (opts : Options.t) (cp : Sema.checked_program) (origin : string SM.t) :
         in
         if List.length groups <= 1 then None
         else if List.length groups > opts.Options.clone_limit then begin
-          Diag.warn "procedure %s needs %d clones (limit %d); cloning disabled for it"
+          Diag.warn_to sink
+            "procedure %s needs %d clones (limit %d); cloning disabled for it"
             pname (List.length groups) opts.Options.clone_limit;
           None
         end
@@ -147,13 +148,13 @@ let step (opts : Options.t) (cp : Sema.checked_program) (origin : string SM.t) :
 let recheck (program : Ast.program) : Sema.checked_program =
   Sema.check_source (Ast_printer.program_to_string program)
 
-let apply (opts : Options.t) (cp : Sema.checked_program) : result =
+let apply ?(sink = Diag.global) (opts : Options.t) (cp : Sema.checked_program) : result =
   if not opts.Options.enable_cloning then
     { cp; origin = SM.empty; clones_made = 0 }
   else begin
     let rec loop cp origin count steps =
       if steps > 100 then Diag.error "cloning did not converge";
-      match step opts cp origin with
+      match step sink opts cp origin with
       | None -> { cp; origin; clones_made = count }
       | Some (program', origin', n) ->
         loop (recheck program') origin' (count + n) (steps + 1)

@@ -27,6 +27,7 @@ let myp = Fit.myp
 
 type state = {
   opts : Options.t;
+  sink : Diag.sink;  (* per-run diagnostic sink for codegen warnings *)
   acg : Acg.t;
   rd : Reaching_decomps.t;
   effects : Side_effects.t;
@@ -1504,14 +1505,16 @@ let emit_placed ctx ~loc sid : Node.nstmt list =
           let layout, dim =
             match members with
             | Rq_shift { rs_layout; rs_dim; _ } :: _ -> (rs_layout, rs_dim)
-            | _ -> assert false
+            | _ ->
+              Diag.internal ~pass:"codegen" "coalesced group without a shift request"
           in
           let parts =
             List.map
               (function
                 | Rq_shift { rs_array; rs_need; rs_other; _ } ->
                   (rs_array, rs_need, rs_other)
-                | Rq_bcast _ -> assert false)
+                | Rq_bcast _ ->
+                  Diag.internal ~pass:"codegen" "broadcast request in a shift group")
               members
           in
           let nprocs = ctx.st.opts.Options.nprocs in
@@ -1631,7 +1634,7 @@ and emit_stmt ctx loops (s : Ast.stmt) : Node.nstmt list =
                  be broadcast here and must not escape the loop *)
               (let ex = export_of ctx.st callee in
                if not (Exports.SS.is_empty ex.Exports.ex_mod_scalars) then
-                 Diag.warn
+                 Diag.warn_to ctx.st.sink
                    "scalar results of %s diverge across the partitioned loop in %s"
                    callee ctx.pname);
               [ Node.N_call (callee, actuals) ]
@@ -1678,7 +1681,8 @@ and emit_do ctx loops (s : Ast.stmt) (d : Ast.do_stmt) : Node.nstmt list =
       (match f_guard with
       | None -> [ loop ]
       | Some g -> [ Node.N_if { cond = g; then_ = [ loop ]; else_ = [] } ])
-    | None -> assert false (* validated in the partition pass *))
+    | None ->
+      Diag.internal ~pass:"codegen" "missing layout for a partitioned loop")
   | Part_symbolic { layout; dim; shift } -> (
     let nprocs = ctx.st.opts.Options.nprocs in
     let dlo, _ = List.nth layout.Layout.bounds dim in
@@ -1700,7 +1704,8 @@ and emit_do ctx loops (s : Ast.stmt) (d : Ast.do_stmt) : Node.nstmt list =
       let lo_e = Ast.Bin (Ast.Add, d.Ast.lo, m2) in
       [ Node.N_do
           { var = d.Ast.var; lo = lo_e; hi = d.Ast.hi; step = Some p_e; body = inner } ]
-    | Layout.Block_cyclic _ | Layout.Replicated -> assert false)
+    | Layout.Block_cyclic _ | Layout.Replicated ->
+      Diag.internal ~pass:"codegen" "unsupported distribution in a symbolic partition")
 
 (* --- Procedure compilation ---------------------------------------------- *)
 
@@ -2036,24 +2041,25 @@ type compiled = {
    (Pipeline) can time, dump and verify each one; [compile] composes
    them for callers wanting the one-call entry point. *)
 
-let clone (opts : Options.t) (cp : Sema.checked_program) : Cloning.result =
+let clone ?sink (opts : Options.t) (cp : Sema.checked_program) : Cloning.result =
   match opts.Options.strategy with
   | Options.Runtime_resolution -> { Cloning.cp; origin = Cloning.SM.empty; clones_made = 0 }
-  | Options.Interproc | Options.Immediate -> Cloning.apply opts cp
+  | Options.Interproc | Options.Immediate -> Cloning.apply ?sink opts cp
 
 let build_acg (cp : Sema.checked_program) : Acg.t =
   let acg = Acg.build cp in
   if Acg.is_recursive acg then Diag.error "recursive programs are not supported";
   acg
 
-let compile_analyzed (opts : Options.t) ~(clone_result : Cloning.result)
-    ~(acg : Acg.t) ~(rd : Reaching_decomps.t) ~(effects : Side_effects.t) : compiled =
+let compile_analyzed ?(sink = Diag.global) (opts : Options.t)
+    ~(clone_result : Cloning.result) ~(acg : Acg.t) ~(rd : Reaching_decomps.t)
+    ~(effects : Side_effects.t) : compiled =
   let cp = clone_result.Cloning.cp in
   (* Fortran D forbids dynamic decomposition of aliased variables
      (Section 6.4); reject such programs before generating code. *)
-  ignore (Aliasing.check acg effects);
+  ignore (Aliasing.check ~sink acg effects);
   let st =
-    { opts; acg; rd; effects; counter = 0; exports = Hashtbl.create 16;
+    { opts; sink; acg; rd; effects; counter = 0; exports = Hashtbl.create 16;
       remap_stats = []; partition_log = [] }
   in
   let compile_one name =
@@ -2096,9 +2102,9 @@ let compile_analyzed (opts : Options.t) ~(clone_result : Cloning.result)
     clone_result;
     state = st }
 
-let compile (opts : Options.t) (cp : Sema.checked_program) : compiled =
-  let clone_result = clone opts cp in
+let compile ?sink (opts : Options.t) (cp : Sema.checked_program) : compiled =
+  let clone_result = clone ?sink opts cp in
   let acg = build_acg clone_result.Cloning.cp in
-  let rd = Reaching_decomps.compute acg in
+  let rd = Reaching_decomps.compute ?sink acg in
   let effects = Side_effects.compute acg in
-  compile_analyzed opts ~clone_result ~acg ~rd ~effects
+  compile_analyzed ?sink opts ~clone_result ~acg ~rd ~effects

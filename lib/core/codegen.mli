@@ -14,6 +14,7 @@ open Fd_machine
 
 type state = {
   opts : Options.t;
+  sink : Fd_support.Diag.sink;  (** per-run diagnostics (warnings) *)
   acg : Acg.t;
   rd : Reaching_decomps.t;
   effects : Side_effects.t;
@@ -38,7 +39,8 @@ type compiled = {
   state : state;
 }
 
-val clone : Options.t -> Sema.checked_program -> Cloning.result
+val clone :
+  ?sink:Fd_support.Diag.sink -> Options.t -> Sema.checked_program -> Cloning.result
 (** The cloning phase: {!Cloning.apply} for the optimizing strategies, a
     trivial (identity) result under [Runtime_resolution]. *)
 
@@ -47,6 +49,7 @@ val build_acg : Sema.checked_program -> Acg.t
     @raise Fd_support.Diag.Compile_error on recursion. *)
 
 val compile_analyzed :
+  ?sink:Fd_support.Diag.sink ->
   Options.t ->
   clone_result:Cloning.result ->
   acg:Acg.t ->
@@ -59,7 +62,8 @@ val compile_analyzed :
     @raise Fd_support.Diag.Compile_error on forbidden aliasing or
     uninstantiable computation partitions. *)
 
-val compile : Options.t -> Sema.checked_program -> compiled
+val compile :
+  ?sink:Fd_support.Diag.sink -> Options.t -> Sema.checked_program -> compiled
 (** Whole-program compilation: cloning (for the optimizing strategies),
     analyses, aliasing check, then one pass per procedure in reverse
     topological order.  Equivalent to running the {!Pipeline} passes

@@ -34,7 +34,7 @@ let assemble_section ~rank ~dim dist_triplet (other_dims : other_dim list) :
     else
       match others with
       | o :: rest -> other_dim_section o :: build (d + 1) rest
-      | [] -> assert false
+      | [] -> Diag.internal ~pass:"codegen" "section dimension underflow"
   in
   build 0 other_dims
 

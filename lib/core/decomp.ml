@@ -49,7 +49,8 @@ let layout_of t ~(bounds : (int * int) list) ~nprocs : Fd_machine.Layout.t =
         Fd_machine.Layout.Block (Fd_machine.Layout.block_size_for ~nprocs dim_bounds)
       | Ast.Cyclic -> Fd_machine.Layout.Cyclic
       | Ast.Block_cyclic k -> Fd_machine.Layout.Block_cyclic k
-      | Ast.Star -> assert false
+      | Ast.Star ->
+        Diag.internal ~pass:"analysis" "DISTRIBUTE * dimension marked distributed"
     in
     { Fd_machine.Layout.bounds; dist_dim = Some d; dist }
 

@@ -12,9 +12,12 @@ type run_result = {
   seq : Seq_interp.result;
   compiled : Codegen.compiled;
   report : Pass.report;
+  partial : string option;
+  (* budget-exhaustion reason: the simulation stopped early, [stats] is a
+     prefix, and the sequential comparison was skipped *)
 }
 
-let check_source ?file src = Sema.check_source ?file src
+let check_source ?file ?sink src = Sema.check_source ?file ?sink src
 
 let compile_ctx ?(verify = false) ?tracer (ctx : Pass.ctx) :
     Codegen.compiled * Pass.report =
@@ -24,11 +27,12 @@ let compile_ctx ?(verify = false) ?tracer (ctx : Pass.ctx) :
   | (pass, msg) :: _ -> Fd_support.Diag.error "pass %s: %s" pass msg);
   (Pass.get_compiled ctx, report)
 
-let compile ?(opts = Options.default) (cp : Sema.checked_program) : Codegen.compiled =
-  fst (compile_ctx (Pipeline.of_checked ~opts cp))
+let compile ?sink ?(opts = Options.default) (cp : Sema.checked_program) :
+    Codegen.compiled =
+  fst (compile_ctx (Pipeline.of_checked ?sink ~opts cp))
 
-let compile_source ?(opts = Options.default) ?file src =
-  fst (compile_ctx (Pipeline.of_source ~opts ?file src))
+let compile_source ?sink ?(opts = Options.default) ?file src =
+  fst (compile_ctx (Pipeline.of_source ?sink ~opts ?file src))
 
 let machine_config ?(machine : Config.t option) (opts : Options.t) : Config.t =
   match machine with
@@ -37,26 +41,40 @@ let machine_config ?(machine : Config.t option) (opts : Options.t) : Config.t =
 
 (* Simulate an already-compiled program; verifies final array contents
    and captured output against the sequential interpreter. *)
-let run_compiled ?machine ~(opts : Options.t) ~(report : Pass.report)
+let run_compiled ?machine ?budget ~(opts : Options.t) ~(report : Pass.report)
     (cp : Sema.checked_program) (compiled : Codegen.compiled) : run_result =
   let config = machine_config ?machine opts in
-  let stats, frames = Scheduler.run config compiled.Codegen.program in
-  let seq = Seq_interp.run ~config cp in
-  let mismatches =
-    Gather.compare_results ~nprocs:opts.Options.nprocs seq frames
-  in
-  let outputs_match = Stats.outputs stats = seq.Seq_interp.outputs in
-  { stats; mismatches; outputs_match; seq; compiled; report }
+  let p = Scheduler.run_partial ?budget config compiled.Codegen.program in
+  match p.Scheduler.p_frames with
+  | Some frames ->
+    let seq = Seq_interp.run ~config cp in
+    let mismatches =
+      Gather.compare_results ~nprocs:opts.Options.nprocs seq frames
+    in
+    let outputs_match =
+      Stats.outputs p.Scheduler.p_stats = seq.Seq_interp.outputs
+    in
+    { stats = p.Scheduler.p_stats; mismatches; outputs_match; seq; compiled;
+      report; partial = p.Scheduler.p_exhausted }
+  | None ->
+    (* budget exhausted mid-simulation: report the stats prefix and skip
+       the sequential comparison (no final frames to compare) *)
+    let seq =
+      { Seq_interp.arrays = []; outputs = []; flops = 0; mem_ops = 0;
+        seq_time = 0. }
+    in
+    { stats = p.Scheduler.p_stats; mismatches = []; outputs_match = true; seq;
+      compiled; report; partial = p.Scheduler.p_exhausted }
 
-let run ?(opts = Options.default) ?machine ?(verify = false) ?tracer
-    (cp : Sema.checked_program) : run_result =
+let run ?sink ?(opts = Options.default) ?machine ?(verify = false) ?tracer
+    ?budget (cp : Sema.checked_program) : run_result =
   let compiled, report =
-    compile_ctx ~verify ?tracer (Pipeline.of_checked ~opts cp)
+    compile_ctx ~verify ?tracer (Pipeline.of_checked ?sink ~opts cp)
   in
-  run_compiled ?machine ~opts ~report cp compiled
+  run_compiled ?machine ?budget ~opts ~report cp compiled
 
-let run_source ?opts ?machine ?verify ?tracer ?file src =
-  run ?opts ?machine ?verify ?tracer (check_source ?file src)
+let run_source ?sink ?opts ?machine ?verify ?tracer ?budget ?file src =
+  run ?sink ?opts ?machine ?verify ?tracer ?budget (check_source ?file ?sink src)
 
 let verified r = r.mismatches = [] && r.outputs_match
 

@@ -15,9 +15,15 @@ type run_result = {
   report : Pass.report;
       (** per-pass wall-clock time, artifact sizes and (when requested)
           invariant results for the compile *)
+  partial : string option;
+      (** budget-exhaustion reason: when set, the simulation stopped
+          early, [stats] is a prefix, and the sequential comparison was
+          skipped ([mismatches = []], [outputs_match = true], [seq]
+          empty) *)
 }
 
-val check_source : ?file:string -> string -> Sema.checked_program
+val check_source :
+  ?file:string -> ?sink:Fd_support.Diag.sink -> string -> Sema.checked_program
 
 val compile_ctx :
   ?verify:bool -> ?tracer:Fd_trace.Trace.t -> Pass.ctx ->
@@ -26,16 +32,20 @@ val compile_ctx :
     invariant violation raises {!Fd_support.Diag.Compile_error}.  A
     [tracer] receives one pass span per pipeline pass. *)
 
-val compile : ?opts:Options.t -> Sema.checked_program -> Codegen.compiled
+val compile :
+  ?sink:Fd_support.Diag.sink -> ?opts:Options.t -> Sema.checked_program ->
+  Codegen.compiled
 
 val compile_source :
-  ?opts:Options.t -> ?file:string -> string -> Codegen.compiled
+  ?sink:Fd_support.Diag.sink -> ?opts:Options.t -> ?file:string -> string ->
+  Codegen.compiled
 
 val machine_config : ?machine:Config.t -> Options.t -> Config.t
 
 val run :
-  ?opts:Options.t -> ?machine:Config.t -> ?verify:bool ->
-  ?tracer:Fd_trace.Trace.t -> Sema.checked_program -> run_result
+  ?sink:Fd_support.Diag.sink -> ?opts:Options.t -> ?machine:Config.t ->
+  ?verify:bool -> ?tracer:Fd_trace.Trace.t -> ?budget:Fd_support.Budget.t ->
+  Sema.checked_program -> run_result
 (** Compile, simulate, and compare final array contents and captured
     output against the sequential interpreter.  [verify] additionally
     runs every pass's invariant checker during the compile.  [tracer]
@@ -43,8 +53,9 @@ val run :
     [machine] config whose [trace] field holds the same trace. *)
 
 val run_source :
-  ?opts:Options.t -> ?machine:Config.t -> ?verify:bool ->
-  ?tracer:Fd_trace.Trace.t -> ?file:string -> string -> run_result
+  ?sink:Fd_support.Diag.sink -> ?opts:Options.t -> ?machine:Config.t ->
+  ?verify:bool -> ?tracer:Fd_trace.Trace.t -> ?budget:Fd_support.Budget.t ->
+  ?file:string -> string -> run_result
 
 val verified : run_result -> bool
 (** No array mismatches and identical PRINT output. *)

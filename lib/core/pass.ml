@@ -8,6 +8,7 @@ open Fd_callgraph
 
 type ctx = {
   opts : Options.t;
+  sink : Diag.sink;
   file : string option;
   source : string option;
   mutable parsed : Ast.program option;

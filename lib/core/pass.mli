@@ -17,6 +17,10 @@ open Fd_callgraph
 
 type ctx = {
   opts : Options.t;
+  sink : Fd_support.Diag.sink;
+      (** per-run diagnostic sink: frontend passes accumulate (recovered)
+          errors here before [sema] raises them as one batch; backend
+          passes record warnings *)
   file : string option;
   source : string option;  (** absent when seeded from a checked program *)
   mutable parsed : Ast.program option;

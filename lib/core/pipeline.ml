@@ -91,7 +91,7 @@ let parse_pass =
         | Some _, _ | _, Some _ -> ()  (* seeded *)
         | None, None -> (
           match c.source with
-          | Some src -> c.parsed <- Some (Parser.parse ?file:c.file src)
+          | Some src -> c.parsed <- Some (Parser.parse ?file:c.file ~sink:c.sink src)
           | None -> Diag.error "pipeline: no source text to parse"));
     p_dump =
       (fun c ->
@@ -134,7 +134,13 @@ let sema_pass =
       (fun c ->
         match c.checked with
         | Some _ -> ()
-        | None -> c.checked <- Some (Sema.check (get_parsed c)));
+        | None ->
+          (* parse + sema diagnostics batch: everything recorded so far
+             (recovered syntax errors included) is raised here, sorted,
+             as one [Compile_errors] *)
+          let checked = Sema.check ?file:c.file ~sink:c.sink (get_parsed c) in
+          Diag.raise_if_errors c.sink;
+          c.checked <- Some checked);
     p_dump =
       (fun c ->
         match c.checked with
@@ -197,7 +203,8 @@ let cloning_pass =
       (fun c ->
         match c.clone_result with
         | Some _ -> ()
-        | None -> c.clone_result <- Some (Codegen.clone c.opts (get_checked c)));
+        | None ->
+          c.clone_result <- Some (Codegen.clone ~sink:c.sink c.opts (get_checked c)));
     p_dump =
       (fun c ->
         match c.clone_result with
@@ -296,7 +303,7 @@ let reaching_pass =
       (fun c ->
         match c.rd with
         | Some _ -> ()
-        | None -> c.rd <- Some (Reaching_decomps.compute (get_acg c)));
+        | None -> c.rd <- Some (Reaching_decomps.compute ~sink:c.sink (get_acg c)));
     p_dump =
       (fun c ->
         match (c.rd, c.acg) with
@@ -462,7 +469,8 @@ let codegen_pass =
         | None ->
           c.compiled <-
             Some
-              (Codegen.compile_analyzed c.opts ~clone_result:(get_clone_result c)
+              (Codegen.compile_analyzed ~sink:c.sink c.opts
+                 ~clone_result:(get_clone_result c)
                  ~acg:(get_acg c) ~rd:(get_rd c) ~effects:(get_effects c)));
     p_dump =
       (fun c ->
@@ -588,15 +596,16 @@ let pass_names = List.map (fun p -> p.p_name) passes
 
 let find_pass name = List.find_opt (fun p -> String.equal p.p_name name) passes
 
-let empty_ctx opts file source =
-  { opts; file; source; parsed = None; checked = None; clone_result = None;
+let empty_ctx ?(sink = Diag.global) opts file source =
+  { opts; sink; file; source; parsed = None; checked = None; clone_result = None;
     acg = None; rd = None; effects = None; summaries = None; compiled = None;
     findings = None }
 
-let of_source ?(opts = Options.default) ?file src = empty_ctx opts file (Some src)
+let of_source ?sink ?(opts = Options.default) ?file src =
+  empty_ctx ?sink opts file (Some src)
 
-let of_checked ?(opts = Options.default) (cp : Sema.checked_program) =
-  let c = empty_ctx opts None None in
+let of_checked ?sink ?(opts = Options.default) (cp : Sema.checked_program) =
+  let c = empty_ctx ?sink opts None None in
   c.checked <- Some cp;
   c
 

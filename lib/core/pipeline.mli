@@ -24,11 +24,18 @@ val pass_names : string list
 
 val find_pass : string -> Pass.t option
 
-val of_source : ?opts:Options.t -> ?file:string -> string -> Pass.ctx
+val of_source :
+  ?sink:Fd_support.Diag.sink -> ?opts:Options.t -> ?file:string -> string ->
+  Pass.ctx
 (** A fresh context that will run every pass, starting from source
-    text. *)
+    text.  [?sink] is the per-run diagnostic sink (default: the legacy
+    {!Fd_support.Diag.global} sink); the [sema] pass raises everything
+    accumulated by parse + sema as one
+    {!Fd_support.Diag.Compile_errors} batch. *)
 
-val of_checked : ?opts:Options.t -> Fd_frontend.Sema.checked_program -> Pass.ctx
+val of_checked :
+  ?sink:Fd_support.Diag.sink -> ?opts:Options.t ->
+  Fd_frontend.Sema.checked_program -> Pass.ctx
 (** A context seeded with an already-checked program: the [parse] and
     [sema] passes become no-ops. *)
 

@@ -32,7 +32,8 @@ let get_reaching (f : fact) v =
    flow-insensitively (the last ALIGN for an array wins, with a warning
    when several disagree), which covers the paper's programs where ALIGN
    appears once per array. *)
-let align_map (cu : Sema.checked_unit) : (string * Ast.align_sub list) SM.t =
+let align_map ?(sink = Diag.global) (cu : Sema.checked_unit) :
+    (string * Ast.align_sub list) SM.t =
   let m = ref SM.empty in
   Ast.iter_stmts
     (fun s ->
@@ -40,8 +41,8 @@ let align_map (cu : Sema.checked_unit) : (string * Ast.align_sub list) SM.t =
       | Ast.Align { array; target; subs } ->
         (match SM.find_opt array !m with
         | Some (t', s') when not (String.equal t' target && s' = subs) ->
-          Diag.warn ~loc:s.Ast.loc "multiple differing ALIGNs for %s; using the last"
-            array
+          Diag.warn_to sink ~loc:s.Ast.loc
+            "multiple differing ALIGNs for %s; using the last" array
         | _ -> ());
         m := SM.add array (target, subs) !m
       | _ -> ())
@@ -124,9 +125,9 @@ type local_result = {
   aligns : (string * Ast.align_sub list) SM.t;
 }
 
-let solve_local ?(seed : fact option) (cu : Sema.checked_unit) : local_result =
+let solve_local ?(sink = Diag.global) ?(seed : fact option) (cu : Sema.checked_unit) : local_result =
   let cfg = Cfg.build cu.Sema.unit_.Ast.body in
-  let aligns = align_map cu in
+  let aligns = align_map ~sink cu in
   let init = match seed with Some f -> f | None -> initial_fact cu in
   let facts =
     Solver.solve ~direction:Dataflow.Forward ~init
@@ -163,12 +164,12 @@ let expand_tops (reaching_p : fact) (fact : fact) : fact =
       else r)
     fact
 
-let compute (acg : Acg.t) : t =
+let compute ?(sink = Diag.global) (acg : Acg.t) : t =
   let reaching : (string, fact) Hashtbl.t = Hashtbl.create 16 in
   let local : (string, local_result) Hashtbl.t = Hashtbl.create 16 in
   (* First pass: local solutions with unexpanded tops. *)
   List.iter
-    (fun (p : Acg.proc) -> Hashtbl.replace local p.Acg.pname (solve_local p.Acg.cu))
+    (fun (p : Acg.proc) -> Hashtbl.replace local p.Acg.pname (solve_local ~sink p.Acg.cu))
     (Acg.procs acg);
   (* Top-down propagation in topological order. *)
   List.iter
@@ -182,7 +183,7 @@ let compute (acg : Acg.t) : t =
          so call-site facts have tops expanded. *)
       let p = Acg.proc acg pname in
       let seed = expand_tops reaching_p (initial_fact p.Acg.cu) in
-      let lr = solve_local ~seed p.Acg.cu in
+      let lr = solve_local ~sink ~seed p.Acg.cu in
       Hashtbl.replace local pname lr;
       (* Push translated facts into each callee's Reaching. *)
       List.iter

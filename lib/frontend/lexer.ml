@@ -13,9 +13,12 @@ type t = {
   mutable pos : int;
   mutable line : int;
   mutable bol : int; (* offset of beginning of current line *)
+  sink : Diag.sink option; (* when set: record lexical errors and recover *)
+  mutable err_line : int; (* last line already diagnosed (cascade damping) *)
 }
 
-let make ?(file = "<string>") src = { src; file; pos = 0; line = 1; bol = 0 }
+let make ?(file = "<string>") ?sink src =
+  { src; file; pos = 0; line = 1; bol = 0; sink; err_line = 0 }
 
 let loc lx = Loc.make ~file:lx.file ~line:lx.line ~col:(lx.pos - lx.bol + 1)
 
@@ -39,7 +42,26 @@ let is_ident_char c =
 
 let is_digit c = c >= '0' && c <= '9'
 
-let error lx fmt = Diag.error ~loc:(loc lx) fmt
+(* Raised after a recorded lexical error when a sink is present; [next]
+   resynchronizes and keeps lexing. *)
+exception Reject
+
+let error lx fmt =
+  match lx.sink with
+  | None -> Diag.error ~loc:(loc lx) fmt
+  | Some sink ->
+    Format.kasprintf
+      (fun message ->
+        (* at most one lexical diagnostic per source line, else a run of
+           garbage characters produces an error cascade *)
+        if lx.line <> lx.err_line then begin
+          lx.err_line <- lx.line;
+          let start = loc lx in
+          let end_ = { start with Loc.col = start.Loc.col + 1 } in
+          Diag.report sink (Diag.make ~end_ Diag.Error start message)
+        end;
+        raise Reject)
+      fmt
 
 let rec skip_blanks_and_comments lx =
   match peek_char lx with
@@ -152,7 +174,18 @@ let lex_dotted lx =
   | "false" -> Token.FALSE
   | w -> error lx "unknown dotted operator .%s." w
 
-let next lx : Loc.t * Token.t =
+let rec next lx : Loc.t * Token.t =
+  let pos0 = lx.pos in
+  match next_raw lx with
+  | tok -> tok
+  | exception Reject ->
+    (* resynchronize: guarantee progress, then retry.  If the failed
+       attempt consumed input (dotted-operator backtrack, continuation
+       junk) we retry in place; otherwise skip the offending char. *)
+    if lx.pos = pos0 && peek_char lx <> None then advance lx;
+    next lx
+
+and next_raw lx : Loc.t * Token.t =
   skip_blanks_and_comments lx;
   let l = loc lx in
   match peek_char lx with
@@ -234,10 +267,31 @@ let next lx : Loc.t * Token.t =
     (l, Token.COLON)
   | Some c -> error lx "unexpected character %C" c
 
+(* Token with its source span: start location and (exclusive-column)
+   end location.  NEWLINE/EOF get a synthetic one-column span so a
+   diagnostic at end-of-statement underlines a single position instead
+   of spilling onto the next line. *)
+let next_sp lx : Loc.t * Loc.t * Token.t =
+  let l, t = next lx in
+  let e =
+    match t with
+    | Token.NEWLINE | Token.EOF -> { l with Loc.col = l.Loc.col + 1 }
+    | _ -> loc lx
+  in
+  (l, e, t)
+
 let tokenize ?file src =
   let lx = make ?file src in
   let rec loop acc =
     let l, t = next lx in
     match t with Token.EOF -> List.rev ((l, t) :: acc) | _ -> loop ((l, t) :: acc)
+  in
+  loop []
+
+let tokenize_sp ?file ?sink src =
+  let lx = make ?file ?sink src in
+  let rec loop acc =
+    let ((_, _, t) as tok) = next_sp lx in
+    match t with Token.EOF -> List.rev (tok :: acc) | _ -> loop (tok :: acc)
   in
   loop []

@@ -5,15 +5,34 @@
     [;] acts as a statement separator.  Identifiers may contain [$]
     (compiler-generated names like [my$p] are legal source).  Dotted
     operators ([.eq.], [.and.], [.true.], ...) and symbolic spellings
-    ([==], [<=], [/=], [<>]) are both accepted. *)
+    ([==], [<=], [/=], [<>]) are both accepted.
+
+    Error handling: without a sink, malformed input raises
+    {!Fd_support.Diag.Compile_error} at the first error.  With
+    [?sink], lexical errors are {e recorded} (at most one per source
+    line, to damp cascades) and the lexer resynchronizes and keeps
+    producing tokens — the stream is always [EOF]-terminated. *)
 
 type t
 
-val make : ?file:string -> string -> t
+val make : ?file:string -> ?sink:Fd_support.Diag.sink -> string -> t
 
 val next : t -> Fd_support.Loc.t * Token.t
 (** Next token; returns [EOF] at end of input.
-    @raise Fd_support.Diag.Compile_error on malformed input. *)
+    @raise Fd_support.Diag.Compile_error on malformed input when the
+    lexer has no sink. *)
+
+val next_sp : t -> Fd_support.Loc.t * Fd_support.Loc.t * Token.t
+(** Like {!next} but also returns the token's end location
+    (exclusive column), for caret/underline diagnostics. *)
 
 val tokenize : ?file:string -> string -> (Fd_support.Loc.t * Token.t) list
 (** The whole token stream, ending with [EOF]. *)
+
+val tokenize_sp :
+  ?file:string ->
+  ?sink:Fd_support.Diag.sink ->
+  string ->
+  (Fd_support.Loc.t * Fd_support.Loc.t * Token.t) list
+(** Spanned token stream.  With [?sink], recovers from lexical errors
+    (recording them) instead of raising. *)

@@ -5,32 +5,61 @@
    - `ident(args)` parses as [Ast.Ref]; {!Sema} rewrites intrinsic
      applications to [Ast.Funcall];
    - `elseif` chains desugar to nested IFs;
-   - `end do` / `end if` two-word forms are accepted. *)
+   - `end do` / `end if` two-word forms are accepted.
+
+   Error recovery: when the state carries a {!Diag.sink}, a syntax
+   error records a spanned diagnostic and raises the local {!Recover},
+   which is caught at the nearest synchronization point — statement
+   level ([block]/[decls] skip to just past the next NEWLINE) or unit
+   level ([program] skips to the next PROGRAM/SUBROUTINE header) — so
+   one parse reports every syntax error it can reach.  Without a sink
+   the first error raises {!Diag.Compile_error} as before. *)
 
 open Fd_support
 
 type state = {
-  toks : (Loc.t * Token.t) array;
+  toks : (Loc.t * Loc.t * Token.t) array;
   mutable pos : int;
   mutable next_sid : int;
+  sink : Diag.sink option;
 }
 
-let make_state toks = { toks = Array.of_list toks; pos = 0; next_sid = 0 }
+let make_state ?sink toks =
+  { toks = Array.of_list toks; pos = 0; next_sid = 0; sink }
 
 let fresh_sid st =
   let id = st.next_sid in
   st.next_sid <- id + 1;
   id
 
-let cur st = snd st.toks.(st.pos)
-let cur_loc st = fst st.toks.(st.pos)
+let cur st =
+  let _, _, t = st.toks.(st.pos) in
+  t
+
+let cur_loc st =
+  let l, _, _ = st.toks.(st.pos) in
+  l
+
+let cur_end st =
+  let _, e, _ = st.toks.(st.pos) in
+  e
 
 let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+(* Raised after a recorded syntax error when a sink is present; caught
+   at statement/unit synchronization points. *)
+exception Recover
 
 let error st fmt =
   Format.kasprintf
     (fun msg ->
-      Diag.error ~loc:(cur_loc st) "%s (found %s)" msg (Token.to_string (cur st)))
+      let msg = Fmt.str "%s (found %s)" msg (Token.to_string (cur st)) in
+      let d = Diag.make ~end_:(cur_end st) Diag.Error (cur_loc st) msg in
+      match st.sink with
+      | None -> raise (Diag.Compile_error d)
+      | Some sink ->
+        Diag.report sink d;
+        raise Recover)
     fmt
 
 let eat st tok =
@@ -43,6 +72,32 @@ let skip_newlines st =
   while cur st = Token.NEWLINE do
     advance st
   done
+
+(* Statement-level resynchronization: skip to just past the next
+   NEWLINE (or stop at EOF).  Always makes progress because [error] is
+   never raised while sitting on a NEWLINE that was already consumed. *)
+let rec sync_stmt st =
+  match cur st with
+  | Token.EOF -> ()
+  | Token.NEWLINE -> advance st
+  | _ ->
+    advance st;
+    sync_stmt st
+
+(* Unit-level resynchronization: skip to the next PROGRAM/SUBROUTINE
+   header that starts a statement (i.e. follows a NEWLINE), or EOF. *)
+let rec sync_unit st =
+  match cur st with
+  | Token.EOF -> ()
+  | Token.NEWLINE -> (
+    advance st;
+    skip_newlines st;
+    match cur st with
+    | Token.KW ("program" | "subroutine") | Token.EOF -> ()
+    | _ -> sync_unit st)
+  | _ ->
+    advance st;
+    sync_unit st
 
 let end_of_stmt st =
   match cur st with
@@ -512,9 +567,12 @@ and block st : Ast.stmt list =
   skip_newlines st;
   match cur st with
   | Token.KW ("enddo" | "endif" | "else" | "elseif" | "end") | Token.EOF -> []
-  | _ ->
-    let s = statement st in
-    s :: block st
+  | _ -> (
+    match statement st with
+    | s -> s :: block st
+    | exception Recover ->
+      sync_stmt st;
+      block st)
 
 (* --- Program units -------------------------------------------------- *)
 
@@ -540,7 +598,14 @@ let formals st =
 let decls st =
   let rec loop acc =
     skip_newlines st;
-    match decl st with Some d -> loop (d :: acc) | None -> List.rev acc
+    match decl st with
+    | Some d -> loop (d :: acc)
+    | None -> List.rev acc
+    | exception Recover ->
+      (* a malformed declaration: resynchronize past its line and keep
+         scanning for further declarations *)
+      sync_stmt st;
+      loop acc
   in
   loop []
 
@@ -579,14 +644,29 @@ let punit st : Ast.punit =
 let program st : Ast.program =
   let rec loop acc =
     skip_newlines st;
-    if cur st = Token.EOF then List.rev acc else loop (punit st :: acc)
+    if cur st = Token.EOF then List.rev acc
+    else
+      match punit st with
+      | u -> loop (u :: acc)
+      | exception Recover ->
+        sync_unit st;
+        loop acc
   in
   loop []
 
-let parse ?file src =
-  let toks = Lexer.tokenize ?file src in
-  let st = make_state toks in
-  program st
+let parse ?file ?sink src =
+  match sink with
+  | Some sink ->
+    let toks = Lexer.tokenize_sp ?file ~sink src in
+    program (make_state ~sink toks)
+  | None ->
+    (* No caller sink: still parse with recovery so one invocation
+       reports every reachable error, then raise the whole batch. *)
+    let sink = Diag.sink () in
+    let toks = Lexer.tokenize_sp ?file ~sink src in
+    let p = program (make_state ~sink toks) in
+    Diag.raise_if_errors sink;
+    p
 
 let parse_unit ?file src =
   match parse ?file src with

@@ -2,8 +2,12 @@
     [ident(args)] into array references vs. intrinsic applications, folds
     PARAMETER constants, and type/shape-checks the whole program.
 
-    All checks raise {!Fd_support.Diag.Compile_error} with a source
-    location on failure. *)
+    All checks {e recover}: each diagnostic is recorded into a per-run
+    {!Fd_support.Diag.sink} and analysis continues with a benign
+    fallback, so one pass reports every semantic error.  Without an
+    explicit sink, [check]/[check_source] raise the accumulated batch
+    as {!Fd_support.Diag.Compile_errors} — callers never receive an
+    ill-typed program. *)
 
 val intrinsics : string list
 (** Names usable as intrinsic functions ([abs], [max], [min], [mod],
@@ -25,11 +29,16 @@ val const_eval_int : Symtab.t -> Ast.expr -> int option
 (** Evaluate a compile-time integer constant expression (PARAMETER names
     resolve through the symbol table). *)
 
-val check_unit : Ast.punit list -> Ast.punit -> checked_unit
+val check_unit : Fd_support.Diag.sink -> Ast.punit list -> Ast.punit -> checked_unit
 (** Check one unit in the context of the whole program (for CALL
-    signature checking). *)
+    signature checking), recording diagnostics into the sink. *)
 
-val check : Ast.program -> checked_program
+val check :
+  ?file:string -> ?sink:Fd_support.Diag.sink -> Ast.program -> checked_program
+(** With [?sink], record diagnostics and return the best-effort result
+    (the caller decides when to fail); without, raise
+    {!Fd_support.Diag.Compile_errors} if any error was found. *)
 
-val check_source : ?file:string -> string -> checked_program
-(** Parse and check in one step. *)
+val check_source : ?file:string -> ?sink:Fd_support.Diag.sink -> string -> checked_program
+(** Parse and check in one step, accumulating parse {e and} sema
+    diagnostics into one batch. *)

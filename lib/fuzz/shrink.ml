@@ -1,0 +1,42 @@
+(* Line-based shrinking of failing fuzz cases: greedy delta debugging.
+
+   Starting from the whole program, repeatedly try to delete chunks of
+   lines (halving chunk sizes down to single lines) while the caller's
+   [keep] predicate — "the same failure still reproduces" — holds.
+   Bounded by a total attempt budget so a flaky predicate cannot spin. *)
+
+let max_attempts = 150
+
+let shrink ~(keep : string -> bool) (src : string) : string =
+  let attempts = ref 0 in
+  let try_keep lines =
+    incr attempts;
+    keep (String.concat "\n" lines)
+  in
+  let rec pass chunk lines =
+    if chunk < 1 || !attempts >= max_attempts then lines
+    else begin
+      let n = List.length lines in
+      let changed = ref false in
+      let lines = ref lines in
+      let start = ref 0 in
+      while !start < List.length !lines && !attempts < max_attempts do
+        let candidate =
+          List.filteri (fun i _ -> i < !start || i >= !start + chunk) !lines
+        in
+        if List.length candidate < List.length !lines && candidate <> []
+           && try_keep candidate
+        then begin
+          lines := candidate;
+          changed := true
+          (* keep [start]: the next chunk slides into this position *)
+        end
+        else start := !start + chunk
+      done;
+      if !changed && List.length !lines < n then pass chunk !lines
+      else pass (chunk / 2) !lines
+    end
+  in
+  let lines = String.split_on_char '\n' src in
+  let shrunk = pass (List.length lines / 2) lines in
+  String.concat "\n" shrunk

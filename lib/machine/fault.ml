@@ -22,13 +22,14 @@ type t = {
 let make ?(drop = 0.0) ?(dup = 0.0) ?(delay = 0.0) ?(reorder = 0.0)
     ?(slowdown = []) ?(rto = 500e-6) ?(backoff = 2.0) ?(max_retries = 8)
     ?watchdog ?tags ?srcs ?dests ~seed () =
-  if drop < 0.0 || drop > 1.0 then invalid_arg "Fault.make: drop not in [0,1]";
-  if dup < 0.0 || dup > 1.0 then invalid_arg "Fault.make: dup not in [0,1]";
-  if reorder < 0.0 || reorder > 1.0 then invalid_arg "Fault.make: reorder not in [0,1]";
-  if delay < 0.0 then invalid_arg "Fault.make: negative delay";
-  if rto <= 0.0 then invalid_arg "Fault.make: rto must be positive";
-  if backoff < 1.0 then invalid_arg "Fault.make: backoff must be >= 1";
-  if max_retries < 0 then invalid_arg "Fault.make: negative max_retries";
+  if drop < 0.0 || drop > 1.0 then Fd_support.Diag.error "fault plan: drop not in [0,1]";
+  if dup < 0.0 || dup > 1.0 then Fd_support.Diag.error "fault plan: dup not in [0,1]";
+  if reorder < 0.0 || reorder > 1.0 then
+    Fd_support.Diag.error "fault plan: reorder not in [0,1]";
+  if delay < 0.0 then Fd_support.Diag.error "fault plan: negative delay";
+  if rto <= 0.0 then Fd_support.Diag.error "fault plan: rto must be positive";
+  if backoff < 1.0 then Fd_support.Diag.error "fault plan: backoff must be >= 1";
+  if max_retries < 0 then Fd_support.Diag.error "fault plan: negative max_retries";
   { seed; drop; dup; delay; reorder; slowdown; rto; backoff; max_retries;
     watchdog; tags; srcs; dests }
 

@@ -132,7 +132,8 @@ and binop op a b : Value.t =
   | Ast.Le -> Value.Vbool (Value.compare_num a b <= 0)
   | Ast.Gt -> Value.Vbool (Value.compare_num a b > 0)
   | Ast.Ge -> Value.Vbool (Value.compare_num a b >= 0)
-  | Ast.And | Ast.Or -> assert false
+  | Ast.And | Ast.Or ->
+    Diag.internal ~pass:"simulate" "boolean operator reached numeric evaluation"
 
 and intrinsic t name args : Value.t =
   cost_flop t;
@@ -171,12 +172,12 @@ and intrinsic t name args : Value.t =
     match vals () with
     | v :: rest ->
       List.fold_left (fun acc x -> if Value.compare_num x acc > 0 then x else acc) v rest
-    | [] -> assert false)
+    | [] -> Diag.internal ~pass:"simulate" "intrinsic %s with no arguments" name)
   | "min", _ :: _ :: _ -> (
     match vals () with
     | v :: rest ->
       List.fold_left (fun acc x -> if Value.compare_num x acc < 0 then x else acc) v rest
-    | [] -> assert false)
+    | [] -> Diag.internal ~pass:"simulate" "intrinsic %s with no arguments" name)
   | "float", [ a ] -> Value.Vreal (Value.to_float (eval t a))
   | "int", [ a ] -> Value.Vint (Value.to_int (eval t a))
   | "sign", [ a; b ] -> (
@@ -388,7 +389,11 @@ let run_main t : frame =
   let main =
     match Node.find_proc t.prog t.prog.Node.n_main with
     | Some np -> np
-    | None -> Diag.error "node program has no main %s" t.prog.Node.n_main
+    | None ->
+      (* codegen guarantees a main node procedure; its absence is a
+         compiler bug, not an input error *)
+      Diag.internal ~pass:"simulate" "node program has no main %s"
+        t.prog.Node.n_main
   in
   let frame : frame = Hashtbl.create 16 in
   (* COMMON storage: allocated once, bound both globally (visible from

@@ -121,9 +121,14 @@ type t = {
   runq : (int * (unit -> outcome)) Queue.t;
   final_frames : Interp.frame option array;
   mutable lost : lost_msg list;  (* permanently undeliverable, reversed *)
+  budget : Budget.state option;
 }
 
-let create config =
+(* Raised by the budget ticks below; caught only by [run_partial], which
+   turns it into a partial result. *)
+exception Budget_stop of string
+
+let create ?budget config =
   { config;
     stats = Stats.create config.Config.nprocs;
     channels = Hashtbl.create 64;
@@ -131,7 +136,20 @@ let create config =
     colls = Hashtbl.create 8;
     runq = Queue.create ();
     final_frames = Array.make config.Config.nprocs None;
-    lost = [] }
+    lost = [];
+    budget }
+
+let charge_step t =
+  match t.budget with
+  | Some b when not (Budget.tick_step b 1) ->
+    raise (Budget_stop (Option.value ~default:"budget exhausted" (Budget.exhausted b)))
+  | _ -> ()
+
+let charge_event t =
+  match t.budget with
+  | Some b when not (Budget.tick_event b 1) ->
+    raise (Budget_stop (Option.value ~default:"budget exhausted" (Budget.exhausted b)))
+  | _ -> ()
 
 let channel t key =
   match Hashtbl.find_opt t.channels key with
@@ -152,6 +170,7 @@ module Tr = Fd_trace.Trace
 (* Advance processor [p]'s clock to [clock], enforcing the virtual-time
    watchdog: a runaway or livelocked run becomes a diagnosable timeout. *)
 let set_clock t p clock =
+  charge_step t;
   t.stats.Stats.clocks.(p) <- clock;
   match t.config.Config.faults with
   | Some { Fault.watchdog = Some limit; _ } when clock > limit ->
@@ -235,6 +254,7 @@ let insert_arrival t (msg : Message.t) arrival =
    charged to the arrival time, so receive waits — and therefore Stats —
    honestly reflect the degraded network. *)
 let transmit t p (msg : Message.t) =
+  charge_event t;
   let ch = channel t (msg.Message.src, msg.Message.dest, msg.Message.tag) in
   let seq = ch.send_seq in
   ch.send_seq <- seq + 1;
@@ -456,7 +476,11 @@ let perform_remap t ~site
           in
           if needs && not had then begin
             let src_obj =
-              match objs.(old_owner) with Some o -> o | None -> assert false
+              match objs.(old_owner) with
+              | Some o -> o
+              | None ->
+                Diag.internal ~pass:"simulate"
+                  "remap: old owner p%d has no storage object" old_owner
             in
             let v =
               Storage.get_raw src_obj (Storage.flat_index src_obj idx)
@@ -481,7 +505,9 @@ let perform_remap t ~site
     (fun (r, idx, v) ->
       match objs.(r) with
       | Some obj -> Storage.receive obj idx v
-      | None -> assert false)
+      | None ->
+        Diag.internal ~pass:"simulate" "remap: receiver p%d has no storage object"
+          r)
     !moves;
   (* time accounting *)
   let tmax =
@@ -623,15 +649,24 @@ let wait_for_graph t : wait_for =
 
 (* --- Main loop --------------------------------------------------------- *)
 
-let run (config : Config.t) (prog : Node.program) : Stats.t * Interp.frame array =
-  let t = create config in
+type partial = {
+  p_stats : Stats.t;
+  p_frames : Interp.frame array option;
+      (* None when the budget tripped before every processor finished *)
+  p_exhausted : string option;
+}
+
+let run_partial ?budget (config : Config.t) (prog : Node.program) : partial =
+  let budget = Option.map Budget.start budget in
+  let t = create ?budget config in
   let nprocs = config.Config.nprocs in
   for p = 0 to nprocs - 1 do
     let interp = Interp.create ~proc:p ~config ~stats:t.stats prog in
     Queue.add (p, fun () -> run_proc t p (fun () -> Interp.run_main interp)) t.runq
   done;
   let finished = ref 0 in
-  (try
+  match
+    (try
      while not (Queue.is_empty t.runq) do
        let p, thunk = Queue.pop t.runq in
        match thunk () with
@@ -666,11 +701,25 @@ let run (config : Config.t) (prog : Node.program) : Stats.t * Interp.frame array
      raise
        (Sim_error
           (Invalid_read
-             { proc; array; index; clock = t.stats.Stats.clocks.(proc) })));
-  if !finished < nprocs then raise (Sim_error (Deadlock (wait_for_graph t)));
-  let frames =
-    Array.map
-      (function Some f -> f | None -> raise (Sim_error (Runtime_error "missing final frame")))
-      t.final_frames
-  in
-  (t.stats, frames)
+             { proc; array; index; clock = t.stats.Stats.clocks.(proc) })))
+  with
+  | () ->
+    if !finished < nprocs then raise (Sim_error (Deadlock (wait_for_graph t)));
+    let frames =
+      Array.map
+        (function
+          | Some f -> f
+          | None -> raise (Sim_error (Runtime_error "missing final frame")))
+        t.final_frames
+    in
+    { p_stats = t.stats; p_frames = Some frames; p_exhausted = None }
+  | exception Budget_stop reason ->
+    (* graceful degradation: stats so far, no final frames.  The parked
+       continuations are dropped; each holds only simulator state. *)
+    { p_stats = t.stats; p_frames = None; p_exhausted = Some reason }
+
+let run (config : Config.t) (prog : Node.program) : Stats.t * Interp.frame array =
+  match run_partial config prog with
+  | { p_stats; p_frames = Some frames; _ } -> (p_stats, frames)
+  | { p_frames = None; _ } ->
+    Diag.internal ~pass:"simulate" "budget exhaustion without a budget"

@@ -60,3 +60,17 @@ val run : Config.t -> Node.program -> Stats.t * Interp.frame array
     @raise Sim_error on deadlock (including mismatched collective sites
     and unrecoverable message loss), watchdog expiry, or runtime faults
     (including strict-validity violations). *)
+
+type partial = {
+  p_stats : Stats.t;  (** statistics accumulated so far *)
+  p_frames : Interp.frame array option;
+      (** final per-processor frames; [None] when the budget tripped
+          before every processor finished *)
+  p_exhausted : string option;  (** the budget-exhaustion reason, if any *)
+}
+
+val run_partial : ?budget:Budget.t -> Config.t -> Node.program -> partial
+(** Like {!run}, but under an optional resource {!Budget.t}: when a step,
+    event, or wall cap trips, the simulation stops gracefully and
+    returns the statistics accumulated so far with [p_exhausted] set —
+    a partial result, never an exception. *)

@@ -112,12 +112,12 @@ and intrinsic t symtab name args =
     match v args with
     | x :: rest ->
       List.fold_left (fun acc y -> if Value.compare_num y acc > 0 then y else acc) x rest
-    | [] -> assert false)
+    | [] -> Diag.internal ~pass:"seq" "intrinsic %s with no arguments" name)
   | "min", _ :: _ :: _ -> (
     match v args with
     | x :: rest ->
       List.fold_left (fun acc y -> if Value.compare_num y acc < 0 then y else acc) x rest
-    | [] -> assert false)
+    | [] -> Diag.internal ~pass:"seq" "intrinsic %s with no arguments" name)
   | "float", [ a ] -> Value.Vreal (Value.to_float (eval t symtab a))
   | "int", [ a ] -> Value.Vint (Value.to_int (eval t symtab a))
   | "sign", [ a; b ] -> (

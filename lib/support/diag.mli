@@ -1,22 +1,107 @@
-(** Compiler diagnostics: fatal errors and accumulated warnings. *)
+(** Compiler diagnostics: recoverable errors, warnings, and contained
+    internal crashes, accumulated in explicit per-run sinks.
 
-type severity = Warning | Error
+    Delivery disciplines:
+    - the frontend (lexer/parser/sema) {e recovers}: it records every
+      diagnosable error into a {!sink} and raises one {!Compile_errors}
+      batch at the end, so a single run reports all errors;
+    - backend passes fail fast via {!error} ({!Compile_error});
+    - would-be [failwith]/[assert false] sites raise {!Internal_error}
+      via {!internal}, attributed to the pass that hit them, and the
+      driver renders a structured crash report — never a bare
+      backtrace. *)
 
-type t = { severity : severity; loc : Loc.t; message : string }
+type severity = Warning | Error | Internal
+
+type t = {
+  severity : severity;
+  loc : Loc.t;  (** start of the offending span; {!Loc.none} if unlocated *)
+  end_ : Loc.t option;  (** end of the span (exclusive column), when known *)
+  pass : string option;  (** attributed pass/subsystem (internal errors) *)
+  message : string;
+}
 
 exception Compile_error of t
+(** A single fatal diagnostic (backend fail-fast path). *)
 
-val make : severity -> Loc.t -> string -> t
+exception Compile_errors of t list
+(** The accumulated diagnostics of one frontend run, in source order;
+    contains at least one [Error]. *)
+
+exception Internal_error of t
+(** A contained compiler crash ([severity = Internal]). *)
+
+val make : ?end_:Loc.t -> ?pass:string -> severity -> Loc.t -> string -> t
 
 val error : ?loc:Loc.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
 (** Raise {!Compile_error} with a formatted message. *)
 
-val warn : ?loc:Loc.t -> ('a, Format.formatter, unit, unit) format4 -> 'a
-(** Record a warning in the global warning sink. *)
+val internal : ?loc:Loc.t -> pass:string -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise {!Internal_error} attributed to [pass] — the total-pipeline
+    replacement for [failwith]/[assert false] in library code. *)
 
-val take_warnings : unit -> t list
-(** Drain accumulated warnings, oldest first. *)
+val sort : t list -> t list
+(** Sort (and dedup) into presentation order: by file/line/col, errors
+    before warnings at the same position, unlocated diagnostics last. *)
 
 val pp : Format.formatter -> t -> unit
-
 val to_string : t -> string
+
+val pp_snippet : src:string -> Format.formatter -> t -> unit
+(** Render the cited source line with a caret/underline marking the
+    diagnosed span. [src] is the full text of [t.loc.file]; prints
+    nothing if the location is out of range. *)
+
+val to_json : t -> Json.t
+
+val report_json : t list -> Json.t
+(** [{ok; errors; warnings; diagnostics}] summary of a diagnostic batch. *)
+
+(** {2 Per-run accumulating sinks} *)
+
+type sink
+(** Mutable per-run diagnostic accumulator. Explicit state — create one
+    per compile request and thread it through the pipeline; nothing is
+    shared between runs. *)
+
+val sink : unit -> sink
+
+val report : sink -> t -> unit
+
+val error_to :
+  sink -> ?loc:Loc.t -> ?end_:Loc.t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Record an [Error] and return (recovery path — does not raise). *)
+
+val warn_to : sink -> ?loc:Loc.t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val diags : sink -> t list
+(** All recorded diagnostics, oldest first. *)
+
+val error_count : sink -> int
+(** Number of recorded [Error]/[Internal] diagnostics. *)
+
+val warnings_of : sink -> t list
+
+val take_warnings_of : sink -> t list
+(** Drain only the warnings, leaving errors in place. *)
+
+val clear : sink -> unit
+
+val raise_if_errors : sink -> unit
+(** If the sink holds any error, raise the whole sorted batch (errors
+    and warnings) as {!Compile_errors}, clearing the sink. *)
+
+(** {2 Deprecated process-global shim}
+
+    The pre-sink API kept one global warning list. It remains for
+    callers not yet threaded with an explicit sink; new code should
+    take a [sink] and use {!warn_to}. *)
+
+val global : sink
+(** The process-global fallback sink behind {!warn}/{!take_warnings}. *)
+
+val warn : ?loc:Loc.t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** @deprecated Record a warning in the global sink; use {!warn_to}. *)
+
+val take_warnings : unit -> t list
+(** @deprecated Drain the global sink's warnings, oldest first. *)

@@ -250,7 +250,7 @@ let at v p = match v with
   | Runs segs ->
     let rec find = function
       | (l, u, s) :: rest -> if p <= u then (assert (p >= l); seg_at s p) else find rest
-      | [] -> invalid_arg "Absdom.at: pid out of range"
+      | [] -> Diag.internal ~pass:"verify" "Absdom.at: pid out of range"
     in
     find segs
 
@@ -303,7 +303,7 @@ let align ~n a b =
       let ra = if u1 > u then (u + 1, u1, s1) :: ra else ra in
       let rb = if u2 > u then (u + 1, u2, s2) :: rb else rb in
       go ra rb acc
-    | _ -> assert false
+    | _ -> Diag.internal ~pass:"verify" "lane covers misaligned in refinement"
   in
   go (segs_of ~n a) (segs_of ~n b) []
 
@@ -317,20 +317,29 @@ let align_many ~n (vs : t list) : (int * int * seg list) list =
     | [] :: _ -> List.rev acc
     | _ ->
       let l =
-        match List.hd covers with (l, _, _) :: _ -> l | [] -> assert false
+        match List.hd covers with
+        | (l, _, _) :: _ -> l
+        | [] -> Diag.internal ~pass:"verify" "empty cover in refinement"
       in
       let u =
         List.fold_left
           (fun u c -> match c with (_, u1, _) :: _ -> min u u1 | [] -> u)
           max_int covers
       in
-      let here = List.map (fun c -> match c with (_, _, s) :: _ -> s | [] -> assert false) covers in
+      let here =
+        List.map
+          (fun c ->
+            match c with
+            | (_, _, s) :: _ -> s
+            | [] -> Diag.internal ~pass:"verify" "empty cover in refinement")
+          covers
+      in
       let rest =
         List.map
           (fun c ->
             match c with
             | (_, u1, s) :: r -> if u1 > u then (u + 1, u1, s) :: r else r
-            | [] -> assert false)
+            | [] -> Diag.internal ~pass:"verify" "empty cover in refinement")
           covers
       in
       go rest ((l, u, here) :: acc)

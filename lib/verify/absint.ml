@@ -36,6 +36,10 @@ open Fd_machine
 exception Truncated
 exception Stuck of string
 
+(* Raised when the caller's resource budget trips mid-walk; rendered as
+   an Info "budget-exhausted" finding, mirroring [Truncated]. *)
+exception Budget_out of string
+
 type aobj = {
   a_name : string;
   a_bounds : (int * int) list;
@@ -49,6 +53,7 @@ type frame = (string, binding) Hashtbl.t
 type w = {
   n : int;
   prog : Node.program;
+  budget : Budget.state option;
   globals : frame;
   mutable frames : frame list;
   mutable fuel : int;
@@ -85,11 +90,21 @@ let addf w ?(loc = Loc.none) ?proc ?tag ?site sev kind msg =
       Finding.make ~loc ?proc ?tag ?site sev kind msg :: w.findings
   end
 
-let emit w ev = w.buf := ev :: !(w.buf)
+let charge w tick =
+  match w.budget with
+  | Some b when not (tick b 1) ->
+    raise
+      (Budget_out (Option.value ~default:"budget exhausted" (Budget.exhausted b)))
+  | _ -> ()
+
+let emit w ev =
+  charge w Budget.tick_event;
+  w.buf := ev :: !(w.buf)
 
 let burn w =
   w.fuel <- w.fuel - 1;
-  if w.fuel <= 0 then raise Truncated
+  if w.fuel <= 0 then raise Truncated;
+  charge w Budget.tick_step
 
 (* --- environment (mirrors Interp's frames) --------------------------- *)
 
@@ -222,11 +237,11 @@ and intrinsic w name args : Absdom.t =
   | "max", _ :: _ :: _ -> (
     match List.map (eval w) args with
     | v :: rest -> List.fold_left (Absdom.app2 ~n Absdom.Max) v rest
-    | [] -> assert false)
+    | [] -> Diag.internal ~pass:"verify" "intrinsic %s with no arguments" name)
   | "min", _ :: _ :: _ -> (
     match List.map (eval w) args with
     | v :: rest -> List.fold_left (Absdom.app2 ~n Absdom.Min) v rest
-    | [] -> assert false)
+    | [] -> Diag.internal ~pass:"verify" "intrinsic %s with no arguments" name)
   | "float", [ a ] -> Absdom.app1 ~n Absdom.ToReal (eval w a)
   | "int", [ a ] -> Absdom.app1 ~n Absdom.ToInt (eval w a)
   | "sign", [ a; b ] ->
@@ -542,7 +557,10 @@ let emit_send w act ~loc dest parts tag =
   (* chunked emission over [cl, cu]: every quantity is one segment *)
   let do_chunk cl cu (segs : Absdom.seg list) =
     let dest_seg, rest =
-      match segs with d :: r -> (d, r) | [] -> assert false
+      match segs with
+      | d :: r -> (d, r)
+      | [] ->
+        Diag.internal ~pass:"verify" "chunked emission with no destination segment"
     in
     (* slice the flattened segment list back into per-part dim triples *)
     let rec split3 vsec segs =
@@ -553,7 +571,8 @@ let emit_send w act ~loc dest parts tag =
         | a :: b :: c :: r ->
           let dims, rest = split3 tl r in
           ((a, b, c) :: dims, rest)
-        | _ -> assert false)
+        | _ ->
+          Diag.internal ~pass:"verify" "segment list misaligned in chunked emission")
     in
     let pdims, remaining =
       List.fold_left
@@ -1228,12 +1247,13 @@ let no_program msg =
     visits = 0;
   }
 
-let walk_main ~nprocs (prog : Node.program) (main : Node.nproc) : result =
+let walk_main ?budget ~nprocs (prog : Node.program) (main : Node.nproc) : result =
   let buf = ref [] in
   let w =
     {
       n = nprocs;
       prog;
+      budget = Option.map Budget.start budget;
       globals = Hashtbl.create 8;
       frames = [];
       fuel = fuel_budget;
@@ -1287,6 +1307,12 @@ let walk_main ~nprocs (prog : Node.program) (main : Node.nproc) : result =
           ("the node program is not executable: " ^ msg)
         :: w.findings;
       false
+    | Budget_out reason ->
+      w.findings <-
+        Finding.make Finding.Info "budget-exhausted"
+          (reason ^ "; the remaining region is unverified")
+        :: w.findings;
+      false
   in
   (* dead-send lint: a send statement that never carries an element for
      any processor on any visit *)
@@ -1306,9 +1332,9 @@ let walk_main ~nprocs (prog : Node.program) (main : Node.nproc) : result =
     visits = fuel_budget - w.fuel;
   }
 
-let walk ~nprocs (prog : Node.program) : result =
+let walk ?budget ~nprocs (prog : Node.program) : result =
   match Node.find_proc prog prog.Node.n_main with
   | None -> no_program (Fmt.str "no main node program %s" prog.Node.n_main)
   | Some main -> (
-    try walk_main ~nprocs prog main
+    try walk_main ?budget ~nprocs prog main
     with Stuck msg -> no_program msg)

@@ -38,5 +38,9 @@ type result = {
   visits : int;  (** statements visited, for the bench *)
 }
 
-(** Walk the program's main entry for [nprocs] processors. *)
-val walk : nprocs:int -> Node.program -> result
+(** Walk the program's main entry for [nprocs] processors.  Under a
+    [?budget], exhaustion stops the walk gracefully with an Info
+    ["budget-exhausted"] finding and [complete = false] — the analysed
+    prefix is still reported. *)
+val walk :
+  ?budget:Fd_support.Budget.t -> nprocs:int -> Node.program -> result

@@ -492,7 +492,7 @@ let apply_coll st (ev : event) =
         add_received st cs_array ~pids:(Iset.range 0 (st.n - 1)) ~slope:0
           ~base:elems
       | _ -> ()))
-  | _ -> assert false
+  | _ -> Diag.internal ~pass:"verify" "skeleton replay: unexpected event form"
 
 (* --- group engine ------------------------------------------------------- *)
 

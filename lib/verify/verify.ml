@@ -13,8 +13,8 @@ type result = {
   events : int;  (* skeleton events replayed *)
 }
 
-let check_node ~nprocs (prog : Node.program) : result =
-  let r = Absint.walk ~nprocs prog in
+let check_node ?budget ~nprocs (prog : Node.program) : result =
+  let r = Absint.walk ?budget ~nprocs prog in
   let skel_findings =
     if r.Absint.complete then
       Skeleton.run ~nprocs ~fuzzy_tags:r.Absint.fuzzy_tags r.Absint.events

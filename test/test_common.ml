@@ -62,7 +62,7 @@ let rejects name src =
   Alcotest.test_case name `Quick (fun () ->
       match Sema.check_source src with
       | _ -> Alcotest.fail "expected a compile error"
-      | exception Diag.Compile_error _ -> ())
+      | exception (Diag.Compile_error _ | Diag.Compile_errors _) -> ())
 
 let c_roundtrip () =
   let cp = Sema.check_source common_program in
@@ -131,7 +131,7 @@ let c_common_alias_rejected () =
   check "rejected" true
     (match Driver.compile_source src with
     | _ -> false
-    | exception Diag.Compile_error _ -> true)
+    | exception (Diag.Compile_error _ | Diag.Compile_errors _) -> true)
 
 let c_fuzz () =
   let st = Random.State.make [| 0xc0; 0x44; 0x02 |] in

@@ -332,7 +332,7 @@ let alias_rejected () =
   check "rejected" true
     (match Driver.compile_source src with
     | _ -> false
-    | exception Diag.Compile_error _ -> true)
+    | exception (Diag.Compile_error _ | Diag.Compile_errors _) -> true)
 
 let alias_allowed_without_redistribution () =
   let src =
@@ -349,7 +349,7 @@ let alias_transitive_redistribution () =
   check "transitive redistribution rejected" true
     (match Driver.compile_source src with
     | _ -> false
-    | exception Diag.Compile_error _ -> true)
+    | exception (Diag.Compile_error _ | Diag.Compile_errors _) -> true)
 
 let suite =
   suite

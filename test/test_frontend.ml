@@ -14,7 +14,7 @@ let rejects name src =
   Alcotest.test_case name `Quick (fun () ->
       match Sema.check_source src with
       | _ -> Alcotest.fail "expected a compile error"
-      | exception Diag.Compile_error _ -> ())
+      | exception (Diag.Compile_error _ | Diag.Compile_errors _) -> ())
 
 (* --- Lexer ------------------------------------------------------------- *)
 

@@ -18,4 +18,5 @@ let () =
       ("verify", Test_verify.suite);
       ("trace", Test_trace.suite);
       ("integration", Test_integration.suite);
+      ("totality", Test_totality.suite);
     ]
