@@ -5,6 +5,8 @@
      fdc acg <file>        - dump the augmented call graph
      fdc spmd <file>       - compile and print the SPMD node program
      fdc run <file>        - compile, simulate, verify, print statistics
+     fdc check <file>      - static communication verification, no simulation
+     fdc cost <file>       - static communication-cost & critical-path prediction
      fdc passes <file>     - run the pass pipeline, print per-pass timings
 *)
 
@@ -476,6 +478,23 @@ let reaching_hook cp =
         | exception _ -> true)
   | exception _ -> None
 
+(* One JSON envelope for the static-analysis subcommands ([fdc check
+   --json], [fdc cost --json]): run identity, then the
+   subcommand-specific statistics, the [partial] flag (the analysis did
+   not cover the whole program exactly), and the findings report
+   ([ok]/counts/[findings]). *)
+let analysis_envelope ~file ~strategy ~nprocs ~stats ~partial findings =
+  match Fd_verify.Finding.report_json findings with
+  | Fd_support.Json.Obj fields ->
+    Fd_support.Json.Obj
+      (("file", Fd_support.Json.Str file)
+       :: ( "strategy",
+            Fd_support.Json.Str (Fd_core.Options.strategy_name strategy) )
+       :: ("nprocs", Fd_support.Json.Int nprocs)
+       :: ("partial", Fd_support.Json.Bool partial)
+       :: (stats @ fields))
+  | other -> other
+
 let check_cmd =
   let run file nprocs strategy remap no_coll json bsteps bevents bwall strict =
     wrap_code ~strict ~json (fun sink ->
@@ -498,22 +517,15 @@ let check_cmd =
         let findings =
           Fd_verify.Finding.sort (lint @ vr.Fd_verify.Verify.findings)
         in
-        if json then begin
-          let j =
-            match Fd_verify.Finding.report_json findings with
-            | Fd_support.Json.Obj fields ->
-              Fd_support.Json.Obj
-                (("file", Fd_support.Json.Str file)
-                 :: ( "strategy",
-                      Fd_support.Json.Str (Fd_core.Options.strategy_name strategy) )
-                 :: ("nprocs", Fd_support.Json.Int nprocs)
-                 :: ("visits", Fd_support.Json.Int vr.Fd_verify.Verify.visits)
-                 :: ("events", Fd_support.Json.Int vr.Fd_verify.Verify.events)
-                 :: fields)
-            | other -> other
-          in
-          Fmt.pr "%s@." (Fd_support.Json.to_string j)
-        end
+        if json then
+          Fmt.pr "%s@."
+            (Fd_support.Json.to_string
+               (analysis_envelope ~file ~strategy ~nprocs
+                  ~stats:
+                    [ ("visits", Fd_support.Json.Int vr.Fd_verify.Verify.visits);
+                      ("events", Fd_support.Json.Int vr.Fd_verify.Verify.events) ]
+                  ~partial:(not vr.Fd_verify.Verify.complete)
+                  findings))
         else begin
           List.iter (fun f -> Fmt.pr "%a@." Fd_verify.Finding.pp f) findings;
           let e, w, i = Fd_verify.Finding.counts findings in
@@ -534,6 +546,124 @@ let check_cmd =
     Term.(const run $ file_arg $ nprocs_arg $ strategy_arg $ remap_arg
           $ collectives_arg $ json_arg $ budget_steps_arg $ budget_events_arg
           $ budget_wall_arg $ strict_arg)
+
+(* --- fdc cost: the static communication-cost analyzer ------------------- *)
+
+let cost_cmd =
+  let run file nprocs strategy remap no_coll json by_loop critical_path
+      no_profile oracle strict =
+    wrap_code ~strict ~json (fun sink ->
+        let src = read_file file in
+        let cp = Fd_core.Driver.check_source ~file src in
+        let opts = opts_of nprocs strategy remap no_coll in
+        let compiled = Fd_core.Driver.compile ~sink ~opts cp in
+        let profile =
+          if no_profile then None else Some (Fd_verify.Cost.profile_of_seq cp)
+        in
+        let config = Fd_core.Driver.machine_config opts in
+        let c =
+          Fd_verify.Cost.analyze ?profile ~config
+            compiled.Fd_core.Codegen.program
+        in
+        let oracle_failures =
+          if not oracle then []
+          else begin
+            (* differential self-check: a compute-free simulated run must
+               report the same counters, and the same makespan when the
+               prediction is exact *)
+            let zcfg =
+              { config with Fd_machine.Config.flop = 0.0; mem_op = 0.0 }
+            in
+            let stats, _ =
+              Fd_machine.Scheduler.run zcfg compiled.Fd_core.Codegen.program
+            in
+            let cmp what pred sim =
+              if pred = sim then []
+              else [ Fmt.str "%s: predicted %d, simulated %d" what pred sim ]
+            in
+            let mk = Fd_machine.Stats.elapsed stats in
+            cmp "messages" c.Fd_verify.Cost.messages stats.Fd_machine.Stats.messages
+            @ cmp "message_bytes" c.Fd_verify.Cost.message_bytes
+                stats.Fd_machine.Stats.message_bytes
+            @ cmp "bcasts" c.Fd_verify.Cost.bcasts stats.Fd_machine.Stats.bcasts
+            @ cmp "bcast_bytes" c.Fd_verify.Cost.bcast_bytes
+                stats.Fd_machine.Stats.bcast_bytes
+            @ cmp "remaps" c.Fd_verify.Cost.remaps stats.Fd_machine.Stats.remaps
+            @ cmp "remap_marks" c.Fd_verify.Cost.remap_marks
+                stats.Fd_machine.Stats.remap_marks
+            @ cmp "remap_bytes" c.Fd_verify.Cost.remap_bytes
+                stats.Fd_machine.Stats.remap_bytes
+            @
+            if
+              c.Fd_verify.Cost.exact
+              && Float.abs (c.Fd_verify.Cost.makespan -. mk)
+                 > 1e-9 *. Float.max 1.0 mk
+            then
+              [ Fmt.str "makespan: predicted %.9fs, simulated %.9fs"
+                  c.Fd_verify.Cost.makespan mk ]
+            else []
+          end
+        in
+        if json then
+          Fmt.pr "%s@."
+            (Fd_support.Json.to_string
+               (analysis_envelope ~file ~strategy ~nprocs
+                  ~stats:
+                    (match Fd_verify.Cost.to_json c with
+                    | Fd_support.Json.Obj fields ->
+                      (* nprocs already in the envelope *)
+                      List.filter (fun (k, _) -> k <> "nprocs") fields
+                    | other -> [ ("cost", other) ])
+                  ~partial:(not c.Fd_verify.Cost.exact)
+                  c.Fd_verify.Cost.findings))
+        else begin
+          Fmt.pr "@[<v>%a@]@?" Fd_verify.Cost.pp c;
+          if critical_path then
+            Fmt.pr "@[<v>%a@]@?" Fd_verify.Cost.pp_critical_path c;
+          if by_loop then Fmt.pr "@[<v>%a@]@?" Fd_verify.Cost.pp_sites c;
+          List.iter
+            (fun f -> Fmt.pr "%a@." Fd_verify.Finding.pp f)
+            c.Fd_verify.Cost.findings
+        end;
+        List.iter (Fmt.epr "cost oracle FAILED %s@.") oracle_failures;
+        if oracle_failures <> [] then 1
+        else Fd_verify.Verify.exit_code ~strict c.Fd_verify.Cost.findings)
+  in
+  let by_loop_arg =
+    Arg.(value & flag
+         & info [ "by-loop" ]
+             ~doc:"Print per-source-statement cost attribution, most \
+                   expensive first")
+  in
+  let critical_path_arg =
+    Arg.(value & flag
+         & info [ "critical-path" ]
+             ~doc:"Print the chain of communication events that determines \
+                   the predicted makespan")
+  in
+  let no_profile_arg =
+    Arg.(value & flag
+         & info [ "no-profile" ]
+             ~doc:"Skip the sequential branch profile; data-dependent IF \
+                   branches stay unresolved regions")
+  in
+  let oracle_arg =
+    Arg.(value & flag
+         & info [ "oracle" ]
+             ~doc:"Also simulate under a compute-free cost model and fail \
+                   (exit 1) unless the predicted counters match exactly")
+  in
+  Cmd.v
+    (Cmd.info "cost"
+       ~doc:"Statically predict the communication cost of the compiled SPMD \
+             program: per-processor and total message counts and byte \
+             volumes, broadcast/remap traffic, and the virtual-time makespan \
+             with its critical path, without running the simulator. \
+             Processors are analyzed symbolically per pid interval, so \
+             large -p costs the same as -p 4")
+    Term.(const run $ file_arg $ nprocs_arg $ strategy_arg $ remap_arg
+          $ collectives_arg $ json_arg $ by_loop_arg $ critical_path_arg
+          $ no_profile_arg $ oracle_arg $ strict_arg)
 
 let passes_cmd =
   let run file nprocs strategy remap no_coll dump_after verify json strict =
@@ -722,6 +852,6 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "fdc" ~doc)
-          [ ast_cmd; acg_cmd; spmd_cmd; run_cmd; trace_cmd; check_cmd; passes_cmd;
-            exports_cmd; overlap_cmd; recompile_cmd; seq_cmd; partition_cmd;
-            fuzz_cmd; oracle_cmd ]))
+          [ ast_cmd; acg_cmd; spmd_cmd; run_cmd; trace_cmd; check_cmd; cost_cmd;
+            passes_cmd; exports_cmd; overlap_cmd; recompile_cmd; seq_cmd;
+            partition_cmd; fuzz_cmd; oracle_cmd ]))

@@ -1467,11 +1467,13 @@ let emit_request ctx ~loc (rq : request) : Node.nstmt list =
                       [ Node.N_send
                           { dest = Ast.Var "p$"; parts = [ (rb_array, sec) ];
                             tag; loc } ];
-                    else_ = [] } ] };
+                    else_ = [];
+                    loc } ] };
         Node.N_if
           { cond = Ast.Bin (Ast.Ne, myp, Ast.Var root_tmp);
             then_ = [ Node.N_recv { src = Ast.Var root_tmp; tag; loc } ];
-            else_ = [] } ]
+            else_ = [];
+            loc } ]
     end
 
 let emit_placed ctx ~loc sid : Node.nstmt list =
@@ -1594,7 +1596,8 @@ and emit_stmt ctx loops (s : Ast.stmt) : Node.nstmt list =
                       Comm.owner_guard ~nprocs:ctx.st.opts.Options.nprocs wo_layout
                         wo_index;
                     then_ = [ Node.N_assign (lhs, rhs) ];
-                    else_ = [] } ]
+                    else_ = [];
+                    loc } ]
           | W_by_loop b -> (
             match partition_of ctx b.wl_lsid with
             | Part_concrete _ | Part_symbolic _ -> [ Node.N_assign (lhs, rhs) ]
@@ -1604,14 +1607,16 @@ and emit_stmt ctx loops (s : Ast.stmt) : Node.nstmt list =
                       Comm.owner_guard ~nprocs:ctx.st.opts.Options.nprocs b.wl_layout
                         b.wl_index;
                     then_ = [ Node.N_assign (lhs, rhs) ];
-                    else_ = [] } ])
+                    else_ = [];
+                    loc } ])
           | W_fallback -> Runtime_res.compile_stmt (runtime_ctx ctx s.Ast.sid) s)
         | Ast.Do d -> emit_do ctx loops s d
         | Ast.If i ->
           [ Node.N_if
               { cond = i.Ast.cond;
                 then_ = emit_block ctx loops i.Ast.then_;
-                else_ = emit_block ctx loops i.Ast.else_ } ]
+                else_ = emit_block ctx loops i.Ast.else_;
+                loc } ]
         | Ast.Call (callee, actuals) -> (
           match classify_stmt ctx loop_ctxs s with
           | W_replicated -> [ Node.N_call (callee, actuals) ]
@@ -1624,7 +1629,8 @@ and emit_stmt ctx loops (s : Ast.stmt) : Node.nstmt list =
               Node.N_if
                 { cond = Ast.Bin (Ast.Eq, myp, root);
                   then_ = [ Node.N_call (callee, actuals) ];
-                  else_ = [] }
+                  else_ = [];
+                  loc }
               :: call_scalar_bcasts ctx ~loc callee actuals root
             end
           | W_by_loop b -> (
@@ -1649,7 +1655,8 @@ and emit_stmt ctx loops (s : Ast.stmt) : Node.nstmt list =
               Node.N_if
                 { cond = Ast.Bin (Ast.Eq, myp, root);
                   then_ = [ Node.N_call (callee, actuals) ];
-                  else_ = [] }
+                  else_ = [];
+                  loc }
               :: call_scalar_bcasts ctx ~loc callee actuals root)
           | W_fallback ->
             Diag.error "cannot instantiate the computation partition for call to %s in %s"
@@ -1660,7 +1667,8 @@ and emit_stmt ctx loops (s : Ast.stmt) : Node.nstmt list =
           [ Node.N_if
               { cond = Ast.Bin (Ast.Eq, myp, int_e 0);
                 then_ = [ Node.N_print args ];
-                else_ = [] } ])
+                else_ = [];
+                loc } ])
   in
   pre @ body
 
@@ -1680,7 +1688,7 @@ and emit_do ctx loops (s : Ast.stmt) (d : Ast.do_stmt) : Node.nstmt list =
       in
       (match f_guard with
       | None -> [ loop ]
-      | Some g -> [ Node.N_if { cond = g; then_ = [ loop ]; else_ = [] } ])
+      | Some g -> [ Node.N_if { cond = g; then_ = [ loop ]; else_ = []; loc = s.Ast.loc } ])
     | None ->
       Diag.internal ~pass:"codegen" "missing layout for a partitioned loop")
   | Part_symbolic { layout; dim; shift } -> (
@@ -1882,7 +1890,7 @@ let compile_proc (st : state) (cu : Sema.checked_unit) : Node.nproc =
       let guarded_body =
         colls
         @ [ Node.N_if
-              { cond = Ast.Bin (Ast.Eq, myp, root); then_ = rest; else_ = [] } ]
+              { cond = Ast.Bin (Ast.Eq, myp, root); then_ = rest; else_ = []; loc = Loc.none } ]
       in
       let bcasts =
         List.filter_map
@@ -1996,8 +2004,10 @@ let compile_proc_runtime_res (st : state) (cu : Sema.checked_unit) : Node.nproc 
             Runtime_res.compile_stmt (runtime_ctx ctx0 s.Ast.sid)
               { s with kind = Ast.If { i with then_ = []; else_ = [] } }
             |> List.map (function
-                 | Node.N_if { cond; _ } ->
-                   Node.N_if { cond; then_ = emit i.Ast.then_; else_ = emit i.Ast.else_ }
+                 | Node.N_if { cond; loc; _ } ->
+                   Node.N_if
+                     { cond; then_ = emit i.Ast.then_; else_ = emit i.Ast.else_;
+                       loc }
                  | other -> other)
           | _ -> Runtime_res.compile_stmt (runtime_ctx ctx0 s.Ast.sid) s))
       stmts

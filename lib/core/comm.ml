@@ -38,12 +38,12 @@ let assemble_section ~rank ~dim dist_triplet (other_dims : other_dim list) :
   in
   build 0 other_dims
 
-let guarded guard stmts =
+let guarded ?(loc = Loc.none) guard stmts =
   match (guard, stmts) with
   | _, [] -> []
   | None, _ -> stmts
   | Some (Ast.Logical_const false), _ -> []
-  | Some g, _ -> [ Node.N_if { cond = g; then_ = stmts; else_ = [] } ]
+  | Some g, _ -> [ Node.N_if { cond = g; then_ = stmts; else_ = []; loc } ]
 
 let elements_of_other_dim = function
   | Od_point _ -> 1
@@ -119,12 +119,12 @@ let emit_section_comm_multi ?(loc = Loc.none) ~nprocs ~tag
       in
       if msg_parts <> [] then begin
         sends :=
-          guarded
+          guarded ~loc
             (Some (Ast.Bin (Ast.Eq, myp, int_e q)))
             [ Node.N_send { dest = int_e p; parts = msg_parts; tag; loc } ]
           @ !sends;
         recvs :=
-          guarded
+          guarded ~loc
             (Some (Ast.Bin (Ast.Eq, myp, int_e p)))
             [ Node.N_recv { src = int_e q; tag; loc } ]
           @ !recvs
@@ -193,7 +193,7 @@ let emit_section_comm_multi ?(loc = Loc.none) ~nprocs ~tag
             in
             sends :=
               !sends
-              @ guarded (Fit.guard_of_mask send_mask)
+              @ guarded ~loc (Fit.guard_of_mask send_mask)
                   [ Node.N_send { dest; parts = msg_parts; tag; loc } ];
             let recv_mask =
               Array.init nprocs (fun p ->
@@ -206,7 +206,7 @@ let emit_section_comm_multi ?(loc = Loc.none) ~nprocs ~tag
             in
             recvs :=
               !recvs
-              @ guarded (Fit.guard_of_mask recv_mask)
+              @ guarded ~loc (Fit.guard_of_mask recv_mask)
                   [ Node.N_recv { src; tag; loc } ]
           end
           else

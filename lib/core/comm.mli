@@ -20,7 +20,8 @@ val assemble_section :
   Node.section
 (** Insert the distributed dimension's triplet among the others. *)
 
-val guarded : Ast.expr option -> Node.nstmt list -> Node.nstmt list
+val guarded :
+  ?loc:Fd_support.Loc.t -> Ast.expr option -> Node.nstmt list -> Node.nstmt list
 
 val emit_section_comm :
   ?loc:Loc.t -> nprocs:int -> tag:int -> array:string -> owned:Iset.t array ->

@@ -46,7 +46,7 @@ let rec iter_nstmt_arrays f (s : Node.nstmt) =
   | Node.N_do { lo; hi; step; body; _ } ->
     fe lo; fe hi; Option.iter fe step;
     List.iter (iter_nstmt_arrays f) body
-  | Node.N_if { cond; then_; else_ } ->
+  | Node.N_if { cond; then_; else_; _ } ->
     fe cond;
     List.iter (iter_nstmt_arrays f) then_;
     List.iter (iter_nstmt_arrays f) else_
@@ -586,11 +586,57 @@ let verify_pass =
       (fun c ->
         match c.findings with Some f -> List.length f | None -> 0) }
 
+(* --- cost: the static communication-cost analyzer ----------------------- *)
+
+(* Like [verify], lazy and cached: predicting message counts, byte
+   volumes and the virtual-time makespan forces an extra abstract walk
+   (with the sequential branch profile) plus the timed replay, so the
+   ordinary compile skips it and [--dump-after cost] or the driver's
+   [fdc cost] forces it. *)
+let cost_of (c : ctx) : Fd_verify.Cost.t option =
+  match c.cost with
+  | Some _ as r -> r
+  | None -> (
+    match c.compiled with
+    | None -> None
+    | Some compiled ->
+      let profile = Option.map Fd_verify.Cost.profile_of_seq c.checked in
+      let config = Fd_machine.Config.ipsc860 ~nprocs:c.opts.Options.nprocs () in
+      let r =
+        Fd_verify.Cost.analyze ?profile ~config compiled.Codegen.program
+      in
+      c.cost <- Some r;
+      Some r)
+
+let cost_pass =
+  { p_name = "cost";
+    p_doc = "static communication-cost and critical-path prediction";
+    p_run = (fun _ -> ());
+    p_dump =
+      (fun c ->
+        Option.map
+          (fun r -> Fd_support.Json.to_string (Fd_verify.Cost.to_json r))
+          (cost_of c));
+    p_verify =
+      (fun c ->
+        match cost_of c with
+        | None -> [ "no compiled program" ]
+        | Some r ->
+          (* invariant: a complete, assumption-free analysis prices
+             every skeleton event and a nonnegative makespan *)
+          if r.Fd_verify.Cost.exact && r.Fd_verify.Cost.makespan < 0.0 then
+            [ "negative predicted makespan" ]
+          else []);
+    p_size =
+      (fun c ->
+        match c.cost with Some r -> r.Fd_verify.Cost.events | None -> 0) }
+
 (* --- The pipeline ------------------------------------------------------- *)
 
 let passes =
   [ parse_pass; sema_pass; cloning_pass; acg_pass; reaching_pass;
-    side_effects_pass; local_summaries_pass; codegen_pass; verify_pass ]
+    side_effects_pass; local_summaries_pass; codegen_pass; verify_pass;
+    cost_pass ]
 
 let pass_names = List.map (fun p -> p.p_name) passes
 
@@ -599,7 +645,7 @@ let find_pass name = List.find_opt (fun p -> String.equal p.p_name name) passes
 let empty_ctx ?(sink = Diag.global) opts file source =
   { opts; sink; file; source; parsed = None; checked = None; clone_result = None;
     acg = None; rd = None; effects = None; summaries = None; compiled = None;
-    findings = None }
+    findings = None; cost = None }
 
 let of_source ?sink ?(opts = Options.default) ?file src =
   empty_ctx ?sink opts file (Some src)

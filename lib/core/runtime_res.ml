@@ -71,7 +71,8 @@ let compile_assign ctx ~(loc : Loc.t) (lhs : Ast.expr) (rhs : Ast.expr) :
                   [ Node.N_send
                       { dest = Ast.Var o_lhs;
                         parts = [ (rname, elem_section rsubs) ]; tag; loc } ];
-                else_ = [] };
+                else_ = [];
+                loc };
             Node.N_if
               { cond =
                   Ast.Bin
@@ -79,14 +80,16 @@ let compile_assign ctx ~(loc : Loc.t) (lhs : Ast.expr) (rhs : Ast.expr) :
                       Ast.Bin (Ast.Eq, myp, Ast.Var o_lhs),
                       Ast.Bin (Ast.Ne, Ast.Var o_r, Ast.Var o_lhs) );
                 then_ = [ Node.N_recv { src = Ast.Var o_r; tag; loc } ];
-                else_ = [] } ])
+                else_ = [];
+                loc } ])
         reads
     in
     (set_o_lhs :: comms)
     @ [ Node.N_if
           { cond = Ast.Bin (Ast.Eq, myp, Ast.Var o_lhs);
             then_ = [ Node.N_assign (lhs, rhs) ];
-            else_ = [] } ]
+            else_ = [];
+            loc } ]
   | _ ->
     (* replicated target: every processor needs the value, so each
        distributed element read is broadcast from its owner *)
@@ -127,7 +130,8 @@ let rec compile_stmt ctx (s : Ast.stmt) : Node.nstmt list =
     @ [ Node.N_if
           { cond;
             then_ = List.concat_map (compile_stmt ctx) then_;
-            else_ = List.concat_map (compile_stmt ctx) else_ } ]
+            else_ = List.concat_map (compile_stmt ctx) else_;
+            loc } ]
   | Ast.Call (name, args) -> [ Node.N_call (name, args) ]
   | Ast.Align _ -> []
   | Ast.Distribute _ ->
@@ -152,4 +156,5 @@ let rec compile_stmt ctx (s : Ast.stmt) : Node.nstmt list =
     @ [ Node.N_if
           { cond = Ast.Bin (Ast.Eq, myp, int_e 0);
             then_ = [ Node.N_print args ];
-            else_ = [] } ]
+            else_ = [];
+            loc } ]

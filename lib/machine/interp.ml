@@ -262,7 +262,7 @@ let rec exec t (s : Node.nstmt) : unit =
       List.iter (exec t) body;
       x := !x + st
     done
-  | Node.N_if { cond; then_; else_ } ->
+  | Node.N_if { cond; then_; else_; _ } ->
     if Value.to_bool (eval t cond) then List.iter (exec t) then_
     else begin
       (* An owner guard is an [if] on the processor id ("my$p") with no

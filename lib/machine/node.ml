@@ -22,7 +22,8 @@ type nstmt =
   | N_assign of Ast.expr * Ast.expr
   | N_do of { var : string; lo : Ast.expr; hi : Ast.expr; step : Ast.expr option;
               body : nstmt list }
-  | N_if of { cond : Ast.expr; then_ : nstmt list; else_ : nstmt list }
+  | N_if of { cond : Ast.expr; then_ : nstmt list; else_ : nstmt list;
+              loc : Loc.t }
   | N_call of string * Ast.expr list
   | N_send of { dest : Ast.expr; parts : (string * section) list; tag : int;
                 loc : Loc.t }
@@ -89,7 +90,7 @@ let rec pp_nstmt indent ppf (s : nstmt) =
         Ast_printer.pp_expr hi Ast_printer.pp_expr st);
     List.iter (pp_nstmt (indent + 2) ppf) body;
     Fmt.pf ppf "%senddo@." pad
-  | N_if { cond; then_; else_ } ->
+  | N_if { cond; then_; else_; _ } ->
     Fmt.pf ppf "%sif (%a) then@." pad Ast_printer.pp_expr cond;
     List.iter (pp_nstmt (indent + 2) ppf) then_;
     if else_ <> [] then begin
@@ -174,9 +175,9 @@ let rec map_exprs (f : Ast.expr -> Ast.expr) (s : nstmt) : nstmt =
   | N_do { var; lo; hi; step; body } ->
     N_do { var; lo = f lo; hi = f hi; step = Option.map f step;
            body = List.map (map_exprs f) body }
-  | N_if { cond; then_; else_ } ->
+  | N_if { cond; then_; else_; loc } ->
     N_if { cond = f cond; then_ = List.map (map_exprs f) then_;
-           else_ = List.map (map_exprs f) else_ }
+           else_ = List.map (map_exprs f) else_; loc }
   | N_call (name, args) -> N_call (name, List.map f args)
   | N_send { dest; parts; tag; loc } ->
     N_send

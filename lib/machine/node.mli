@@ -22,7 +22,11 @@ type nstmt =
   | N_assign of Ast.expr * Ast.expr
   | N_do of { var : string; lo : Ast.expr; hi : Ast.expr; step : Ast.expr option;
               body : nstmt list }
-  | N_if of { cond : Ast.expr; then_ : nstmt list; else_ : nstmt list }
+  | N_if of { cond : Ast.expr; then_ : nstmt list; else_ : nstmt list;
+              loc : Loc.t }
+      (** [loc] is the source IF statement when one exists ([Loc.none]
+          for compiler-introduced guards); branch-profile consumers key
+          on it *)
   | N_call of string * Ast.expr list
   | N_send of { dest : Ast.expr; parts : (string * section) list; tag : int;
                 loc : Loc.t }

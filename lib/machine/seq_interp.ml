@@ -28,6 +28,8 @@ type t = {
   mutable flops : int;
   mutable mem_ops : int;
   mutable outputs : string list;
+  on_branch : (Loc.t -> bool -> unit) option;
+      (* observer for every source-IF decision, keyed by statement loc *)
 }
 
 let current_frame t = List.hd t.frames
@@ -167,8 +169,9 @@ let rec exec t (cu : Sema.checked_unit) (s : Ast.stmt) : unit =
       x := !x + st
     done
   | Ast.If { cond; then_; else_ } ->
-    if Value.to_bool (eval t symtab cond) then List.iter (exec t cu) then_
-    else List.iter (exec t cu) else_
+    let taken = Value.to_bool (eval t symtab cond) in
+    (match t.on_branch with Some f -> f s.Ast.loc taken | None -> ());
+    if taken then List.iter (exec t cu) then_ else List.iter (exec t cu) else_
   | Ast.Call (name, args) -> call t name args cu
   | Ast.Align _ | Ast.Distribute _ -> ()  (* placement is advisory sequentially *)
   | Ast.Return -> raise Return_signal
@@ -219,10 +222,11 @@ and allocate_locals t (cu : Sema.checked_unit) =
         then Hashtbl.replace frame name (Bscalar (ref (Value.zero_of ty)))
       | _ -> ())
 
-let run ?(config = Config.ipsc860 ~nprocs:1 ()) (cp : Sema.checked_program) : result =
+let run ?(config = Config.ipsc860 ~nprocs:1 ()) ?on_branch
+    (cp : Sema.checked_program) : result =
   let t =
     { cp; config; globals = Hashtbl.create 8; frames = []; flops = 0; mem_ops = 0;
-      outputs = [] }
+      outputs = []; on_branch }
   in
   let main = Sema.find_unit_exn cp cp.Sema.main in
   let frame : frame = Hashtbl.create 16 in

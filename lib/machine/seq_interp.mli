@@ -13,4 +13,12 @@ type result = {
   seq_time : float;  (** estimated sequential execution time *)
 }
 
-val run : ?config:Config.t -> Sema.checked_program -> result
+val run :
+  ?config:Config.t ->
+  ?on_branch:(Fd_support.Loc.t -> bool -> unit) ->
+  Sema.checked_program ->
+  result
+(** [on_branch] observes every source-IF decision as [(loc, taken)],
+    keyed by the IF statement's location.  The static cost analyzer uses
+    the aggregated profile to assign execution multiplicities to
+    unverifiable regions ({!Fd_verify.Absint.region}). *)

@@ -50,9 +50,25 @@ type binding = Bscalar of Absdom.t ref | Barray of aobj
 
 type frame = (string, binding) Hashtbl.t
 
+(* One unverifiable-control-flow region instance, in walk order.  The
+   buffered branch events never reach the main stream (only Ev_assume
+   does); the cost analyzer splices them back in at [rg_pos] with a
+   multiplicity decided by a sequential branch profile. *)
+type region = {
+  rg_if_loc : Loc.t;
+      (* source IF statement; Loc.none for symbolic loop regions *)
+  rg_pos : int;  (* main-stream events emitted before this region *)
+  rg_then : Skeleton.event list;
+  rg_else : Skeleton.event list;
+  rg_divergent : bool;
+  rg_nested : bool;  (* recorded inside an enclosing region *)
+}
+
 type w = {
   n : int;
   prog : Node.program;
+  oracle : (Loc.t -> bool option) option;
+      (* branch profile consulted before falling back to regions *)
   budget : Budget.state option;
   globals : frame;
   mutable frames : frame list;
@@ -66,6 +82,7 @@ type w = {
       (* per (site, tag): nonempty, empty *)
   comm_memo : (string, bool) Hashtbl.t;
   finding_seen : (string, unit) Hashtbl.t;
+  mutable regions : region list;  (* reversed; see [region] *)
 }
 
 type result = {
@@ -76,6 +93,7 @@ type result = {
       (* the event stream covers the whole program, so the skeleton
          replay's deadlock verdicts are meaningful *)
   visits : int;  (* statements visited, for the bench *)
+  regions : region list;  (* unverified regions, in walk order *)
 }
 
 (* One finding per (kind, site) — the walk revisits statements (loop
@@ -329,7 +347,7 @@ let rec stmts_mention_divergence stmts =
         expr_divergent lo || expr_divergent hi
         || (match step with Some e -> expr_divergent e | None -> false)
         || stmts_mention_divergence body
-      | Node.N_if { cond; then_; else_ } ->
+      | Node.N_if { cond; then_; else_; _ } ->
         expr_divergent cond
         || stmts_mention_divergence then_
         || stmts_mention_divergence else_
@@ -867,8 +885,9 @@ let do_bcast w act ~loc root payload site =
                | None -> Iset.empty);
            })
 
-let do_remap w act ~loc array new_layout site =
+let do_remap w act ~loc array new_layout move site =
   let obj = array_obj w array in
+  let old_layout = obj.a_layout in
   (* well-formedness of the target layout *)
   let ok = ref true in
   if new_layout.Layout.bounds <> obj.a_bounds then begin
@@ -895,7 +914,10 @@ let do_remap w act ~loc array new_layout site =
   | _ -> ());
   if !ok then obj.a_layout <- new_layout;
   if collective_act_ok w act ~loc ~site ~label:array then
-    emit_coll w ~loc ~site ~label:array ~root:None (Skeleton.Cp_remap array)
+    emit_coll w ~loc ~site ~label:array ~root:None
+      (Skeleton.Cp_remap
+         { cr_array = array; cr_old = old_layout; cr_new = obj.a_layout;
+           cr_move = move })
 
 (* --- statements ------------------------------------------------------- *)
 
@@ -925,13 +947,13 @@ and walk_stmt w (act : Iset.t) (s : Node.nstmt) : Iset.t =
   | Node.N_bcast { root; payload; site; loc } ->
     do_bcast w act ~loc root payload site;
     act
-  | Node.N_remap { array; new_layout; move = _; site; loc } ->
-    do_remap w act ~loc array new_layout site;
+  | Node.N_remap { array; new_layout; move; site; loc } ->
+    do_remap w act ~loc array new_layout move site;
     act
   | Node.N_call (name, args) ->
     walk_call w act name args;
     act
-  | Node.N_if { cond; then_; else_ } -> walk_if w act cond then_ else_
+  | Node.N_if { cond; then_; else_; loc } -> walk_if w act ~loc cond then_ else_
   | Node.N_do { var; lo; hi; step; body } ->
     walk_do w act var lo hi step body
 
@@ -971,16 +993,22 @@ and walk_call w act name args =
   let _live = walk_seq w act np.Node.np_body in
   w.frames <- List.tl w.frames
 
-and walk_if w act cond then_ else_ : Iset.t =
+and walk_if w act ~loc cond then_ else_ : Iset.t =
   let vc = eval w cond in
   match Absdom.truth ~n:w.n ~act vc with
   | Absdom.T_true -> walk_seq w act then_
   | Absdom.T_false -> walk_seq w act else_
-  | Absdom.T_unknown_uniform ->
+  | Absdom.T_unknown_uniform -> (
     (* unknown but processor-uniform: both branches possible, all
-       processors take the same one — collectives inside stay congruent *)
-    walk_branches_as_regions w act ~divergent:false then_ else_;
-    act
+       processors take the same one — collectives inside stay congruent.
+       A branch oracle (sequential profile, cost analysis) can decide
+       the instance; without one both branches become a region. *)
+    match Option.bind w.oracle (fun f -> f loc) with
+    | Some true -> walk_seq w act then_
+    | Some false -> walk_seq w act else_
+    | None ->
+      walk_branches_as_regions w act ~loc ~divergent:false then_ else_;
+      act)
   | Absdom.T_split (act_t, act_e) ->
     let live_t = if any_active act_t then walk_seq w act_t then_ else act_t in
     let live_e = if any_active act_e then walk_seq w act_e else_ else act_e in
@@ -988,13 +1016,29 @@ and walk_if w act cond then_ else_ : Iset.t =
   | Absdom.T_divergent ->
     (* processors genuinely disagree and we cannot tell which way:
        collective congruence inside is unverifiable *)
-    walk_branches_as_regions w act ~divergent:true then_ else_;
+    walk_branches_as_regions w act ~loc ~divergent:true then_ else_;
     act
 
-and walk_branches_as_regions w act ~divergent then_ else_ =
+and walk_branches_as_regions w act ~loc ~divergent then_ else_ =
   let evs_t = walk_region w act then_ in
   let evs_e = walk_region w act else_ in
+  record_region w ~if_loc:loc ~divergent ~then_:evs_t ~else_:evs_e;
   finish_regions w ~divergent [ evs_t; evs_e ]
+
+(* Every region instance is recorded, even when both branches are
+   comm-free, so per-IF-site profile decisions stay aligned with the
+   walk order. *)
+and record_region w ~if_loc ~divergent ~then_ ~else_ =
+  w.regions <-
+    {
+      rg_if_loc = if_loc;
+      rg_pos = List.length !(w.buf);
+      rg_then = then_;
+      rg_else = else_;
+      rg_divergent = divergent;
+      rg_nested = w.uncertain > 0;
+    }
+    :: w.regions
 
 (* Walk [stmts] once with weak scalar updates, capturing its events. *)
 and walk_region w act stmts : Skeleton.event list =
@@ -1225,6 +1269,8 @@ and walk_do w act var lo hi step body : Iset.t =
          iteration as a region *)
       havoc_scalars w act ~divergent:divergent_bounds [ var ];
       let evs = walk_region w act body in
+      record_region w ~if_loc:Loc.none ~divergent:divergent_bounds ~then_:evs
+        ~else_:[];
       finish_regions w ~divergent:divergent_bounds [ evs ];
       act
     end
@@ -1245,14 +1291,17 @@ let no_program msg =
     fuzzy_tags = Hashtbl.create 1;
     complete = false;
     visits = 0;
+    regions = [];
   }
 
-let walk_main ?budget ~nprocs (prog : Node.program) (main : Node.nproc) : result =
+let walk_main ?budget ?branch_oracle ~nprocs (prog : Node.program)
+    (main : Node.nproc) : result =
   let buf = ref [] in
   let w =
     {
       n = nprocs;
       prog;
+      oracle = branch_oracle;
       budget = Option.map Budget.start budget;
       globals = Hashtbl.create 8;
       frames = [];
@@ -1265,6 +1314,7 @@ let walk_main ?budget ~nprocs (prog : Node.program) (main : Node.nproc) : result
       send_stats = Hashtbl.create 16;
       comm_memo = Hashtbl.create 8;
       finding_seen = Hashtbl.create 16;
+      regions = [];
     }
   in
   let frame : frame = Hashtbl.create 16 in
@@ -1330,11 +1380,12 @@ let walk_main ?budget ~nprocs (prog : Node.program) (main : Node.nproc) : result
     fuzzy_tags = w.fuzzy;
     complete;
     visits = fuel_budget - w.fuel;
+    regions = List.rev w.regions;
   }
 
-let walk ?budget ~nprocs (prog : Node.program) : result =
+let walk ?budget ?branch_oracle ~nprocs (prog : Node.program) : result =
   match Node.find_proc prog prog.Node.n_main with
   | None -> no_program (Fmt.str "no main node program %s" prog.Node.n_main)
   | Some main -> (
-    try walk_main ?budget ~nprocs prog main
+    try walk_main ?budget ?branch_oracle ~nprocs prog main
     with Stuck msg -> no_program msg)

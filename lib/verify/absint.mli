@@ -28,6 +28,21 @@ open Fd_machine
 exception Truncated
 exception Stuck of string
 
+(** One unverifiable-control-flow region instance, in walk order.  Its
+    buffered branch events never reach the main event stream (only
+    [Ev_assume] does); {!module:Cost} counts regions that contain
+    communication to flag its prediction approximate, after first
+    resolving what it can through [?branch_oracle]. *)
+type region = {
+  rg_if_loc : Fd_support.Loc.t;
+      (** source IF statement; [Loc.none] for symbolic loop regions *)
+  rg_pos : int;  (** main-stream events emitted before this region *)
+  rg_then : Skeleton.event list;
+  rg_else : Skeleton.event list;
+  rg_divergent : bool;
+  rg_nested : bool;  (** recorded inside an enclosing region *)
+}
+
 type result = {
   events : Skeleton.event list;
   findings : Finding.t list;
@@ -36,11 +51,23 @@ type result = {
       (** the event stream covers the whole program, so the skeleton
           replay's deadlock verdicts are meaningful *)
   visits : int;  (** statements visited, for the bench *)
+  regions : region list;  (** unverified regions, in walk order *)
 }
 
 (** Walk the program's main entry for [nprocs] processors.  Under a
     [?budget], exhaustion stops the walk gracefully with an Info
     ["budget-exhausted"] finding and [complete = false] — the analysed
-    prefix is still reported. *)
+    prefix is still reported.
+
+    [?branch_oracle] resolves processor-uniform but statically-unknown
+    IF conditions (keyed by the source statement's location): [Some
+    taken] walks that branch in the main stream with full precision
+    instead of buffering both branches as a region.  The cost analyzer
+    supplies a sequential branch profile here; verification never does
+    (its verdicts must not depend on one input's control flow). *)
 val walk :
-  ?budget:Fd_support.Budget.t -> nprocs:int -> Node.program -> result
+  ?budget:Fd_support.Budget.t ->
+  ?branch_oracle:(Fd_support.Loc.t -> bool option) ->
+  nprocs:int ->
+  Node.program ->
+  result

@@ -50,10 +50,10 @@ let rewrite_first_seq (f : Node.nstmt -> Node.nstmt list option)
         match s with
         | Node.N_do d ->
           [ Node.N_do { d with body = List.concat_map stmt d.body } ]
-        | Node.N_if { cond; then_; else_ } ->
+        | Node.N_if { cond; then_; else_; loc } ->
           let then_ = List.concat_map stmt then_ in
           let else_ = List.concat_map stmt else_ in
-          [ Node.N_if { cond; then_; else_ } ]
+          [ Node.N_if { cond; then_; else_; loc } ]
         | s -> [ s ])
   in
   let procs =
@@ -73,6 +73,7 @@ let guard_not_root s =
       cond = Ast.Bin (Ast.Ne, Ast.Var "my$p", Ast.Int_const 0);
       then_ = [ s ];
       else_ = [];
+      loc = Fd_support.Loc.none;
     }
 
 let apply_one prog = function

@@ -1,0 +1,1416 @@
+(* Static communication-cost and critical-path analyzer (fdc cost).
+
+   Input: the interval communication skeleton emitted by the abstract
+   walk (Absint) plus the machine cost model (Config).  Output: the
+   communication statistics a simulated run would report — per-processor
+   and aggregate message counts and byte volumes, broadcast/remap
+   traffic, and the virtual-time makespan of the communication DAG —
+   computed without running the program, symbolically over pid
+   intervals, so the analysis cost is flat in P.
+
+   Fidelity contract (the differential oracle in test/test_cost.ml):
+
+   - message/byte counters equal the simulator's Stats field-for-field
+     on every fault-free example, because the counting mirrors the
+     interpreter exactly: one message per executed N_send with bytes =
+     (product of section triplet counts) * word_bytes; one bcast per
+     collective with the root's full section; remap traffic from the
+     same owner arithmetic the scheduler uses;
+   - the predicted makespan equals the simulator's elapsed time under a
+     compute-free cost model (flop = mem_op = 0), because the timed
+     replay applies the scheduler's exact rules: a send advances the
+     sender by alpha and arrives at sender_clock + beta*bytes; a receive
+     advances to max(own, arrival) with per-(src, dest, tag) FIFO
+     matching; a broadcast releases everyone at ensemble-max +
+     bcast_cost; a remap releases each p at ensemble-max + its pairwise
+     traffic cost.  Under the full cost model the prediction is a lower
+     bound (compute time is not modelled).
+
+   Statically-unresolved control flow (Absint regions) is resolved by a
+   sequential branch profile: Seq_interp runs the source program once
+   (P-independent) recording each source IF decision; sites whose
+   profile is uniform are walked as decided.  Mixed or unprofiled sites
+   stay regions, their communication is excluded from the totals, and
+   the result is flagged approximate with an Info finding per
+   assumption.
+
+   The timed replay advances pid-interval groups carrying affine clocks
+   clock(p) = ca*p + cb through the event stream, splitting a group
+   only where lanes genuinely diverge (a max(own, arrival) crossing, an
+   irregular match); broadcasts re-merge the ensemble into one group,
+   so the regular patterns stay O(events), independent of P. *)
+
+open Fd_support
+open Fd_machine
+
+(* --- sequential branch profile ---------------------------------------- *)
+
+type profile = (Loc.t, (int * int) ref) Hashtbl.t
+
+let profile_of_seq (cp : Fd_frontend.Sema.checked_program) : profile =
+  let tbl : profile = Hashtbl.create 16 in
+  let on_branch loc taken =
+    if loc <> Loc.none then begin
+      let r =
+        match Hashtbl.find_opt tbl loc with
+        | Some r -> r
+        | None ->
+          let r = ref (0, 0) in
+          Hashtbl.replace tbl loc r;
+          r
+      in
+      let t, f = !r in
+      r := if taken then (t + 1, f) else (t, f + 1)
+    end
+  in
+  (* A sequential failure (runtime error in the reference interpreter)
+     just yields a partial profile; the analysis degrades to regions. *)
+  (try ignore (Seq_interp.run ~on_branch cp) with _ -> ());
+  tbl
+
+let oracle (p : profile) (loc : Loc.t) : bool option =
+  if loc = Loc.none then None
+  else
+    match Hashtbl.find_opt p loc with
+    | Some { contents = t, 0 } when t > 0 -> Some true
+    | Some { contents = 0, f } when f > 0 -> Some false
+    | _ -> None
+
+let mixed_sites (p : profile) : (Loc.t * int * int) list =
+  Hashtbl.fold
+    (fun loc { contents = t, f } acc ->
+      if t > 0 && f > 0 then (loc, t, f) :: acc else acc)
+    p []
+  |> List.sort compare
+
+(* --- piecewise-affine per-processor accumulators ------------------------ *)
+
+(* value(p) = a*p + b on [lo, hi]; pieces in an accumulator may overlap
+   (contributions), the sweep canonicalizes them into disjoint runs. *)
+type ipiece = { ip_lo : int; ip_hi : int; ip_a : int; ip_b : int }
+type fpiece = { fp_lo : int; fp_hi : int; fp_a : float; fp_b : float }
+
+let isum_piece { ip_lo = l; ip_hi = h; ip_a = a; ip_b = b } =
+  (* sum_{p=l..h} (a*p + b); the triangular term in halves to dodge
+     overflow on odd spans *)
+  let n = h - l + 1 in
+  let tri = if (l + h) mod 2 = 0 then (l + h) / 2 * n else n / 2 * (l + h) in
+  (a * tri) + (b * n)
+
+let fsum_piece { fp_lo = l; fp_hi = h; fp_a = a; fp_b = b } =
+  let n = float_of_int (h - l + 1) in
+  (a *. float_of_int (l + h) *. n /. 2.0) +. (b *. n)
+
+(* Delta sweep: O(k log k) in the number of contributions, flat in P. *)
+let sweep_int (contribs : ipiece list) : ipiece list =
+  let deltas = Hashtbl.create 64 in
+  let bump pos da db =
+    let a, b = Option.value ~default:(0, 0) (Hashtbl.find_opt deltas pos) in
+    Hashtbl.replace deltas pos (a + da, b + db)
+  in
+  List.iter
+    (fun c ->
+      bump c.ip_lo c.ip_a c.ip_b;
+      bump (c.ip_hi + 1) (-c.ip_a) (-c.ip_b))
+    contribs;
+  let cuts = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) deltas []) in
+  let rec go a b = function
+    | [] | [ _ ] -> []
+    | x :: (y :: _ as rest) ->
+      let da, db = Hashtbl.find deltas x in
+      let a = a + da and b = b + db in
+      if a = 0 && b = 0 then go a b rest
+      else { ip_lo = x; ip_hi = y - 1; ip_a = a; ip_b = b } :: go a b rest
+  in
+  go 0 0 cuts
+
+let sweep_float (contribs : fpiece list) : fpiece list =
+  let deltas = Hashtbl.create 64 in
+  let bump pos da db =
+    let a, b = Option.value ~default:(0.0, 0.0) (Hashtbl.find_opt deltas pos) in
+    Hashtbl.replace deltas pos (a +. da, b +. db)
+  in
+  List.iter
+    (fun c ->
+      bump c.fp_lo c.fp_a c.fp_b;
+      bump (c.fp_hi + 1) (-.c.fp_a) (-.c.fp_b))
+    contribs;
+  let cuts = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) deltas []) in
+  let rec go a b = function
+    | [] | [ _ ] -> []
+    | x :: (y :: _ as rest) ->
+      let da, db = Hashtbl.find deltas x in
+      let a = a +. da and b = b +. db in
+      if a = 0.0 && b = 0.0 then go a b rest
+      else { fp_lo = x; fp_hi = y - 1; fp_a = a; fp_b = b } :: go a b rest
+  in
+  go 0.0 0.0 cuts
+
+let ipieces_at (ps : ipiece list) p =
+  List.fold_left
+    (fun acc c -> if p >= c.ip_lo && p <= c.ip_hi then acc + (c.ip_a * p) + c.ip_b else acc)
+    0 ps
+
+let fpieces_at (ps : fpiece list) p =
+  List.fold_left
+    (fun acc c ->
+      if p >= c.fp_lo && p <= c.fp_hi then acc +. (c.fp_a *. float_of_int p) +. c.fp_b
+      else acc)
+    0.0 ps
+
+(* Floor/ceiling division (y > 0). *)
+let fdiv x y = if x >= 0 then x / y else -(((-x) + y - 1) / y)
+let cdiv x y = -fdiv (-x) y
+
+(* --- symbolic message sizes -------------------------------------------- *)
+
+(* Bytes per sender over [lo, hi] as disjoint affine pieces.  Exact:
+   mirrors Interp's element gathering (product of triplet counts over
+   ALL dimensions, summed over parts, times word_bytes).  Sections the
+   affine forms cannot express (pid-dependent strides, two varying
+   dimensions) fall back to per-pid evaluation coalesced into affine
+   runs — still exact, O(interval width) only for the exotic event. *)
+
+let part_elems_at (part : Skeleton.part) s =
+  match part.Skeleton.p_triplets with
+  | None -> None
+  | Some tl ->
+    Some
+      (List.fold_left
+         (fun acc tr -> acc * Triplet.count (Skeleton.triplet_at tr s))
+         1 tl)
+
+(* One part as [`Const of int | `Affine of int * int (* max(0, a*p+b) *)
+   | `Opaque]. *)
+let classify_part (part : Skeleton.part) =
+  match part.Skeleton.p_triplets with
+  | None -> `Unknown
+  | Some tl ->
+    let rec go const_prod affine tl =
+      match tl with
+      | [] -> (
+        match affine with
+        | None -> `Const const_prod
+        | Some (a, b) -> `Affine (a * const_prod, b * const_prod))
+      | (lo_a, hi_a, st_a) :: rest ->
+        if st_a.Skeleton.a <> 0 || st_a.Skeleton.b < 1 then `Opaque
+        else
+          let s = st_a.Skeleton.b in
+          let wa = hi_a.Skeleton.a - lo_a.Skeleton.a
+          and wb = hi_a.Skeleton.b - lo_a.Skeleton.b in
+          if wa = 0 then
+            let cnt = if wb < 0 then 0 else (wb / s) + 1 in
+            go (const_prod * cnt) affine rest
+          else if s = 1 && affine = None then
+            (* count(p) = max(0, wa*p + wb + 1) *)
+            go const_prod (Some (wa, wb + 1)) rest
+          else `Opaque
+    in
+    go 1 None tl
+
+let coalesce_values ~lo values =
+  (* values.(i) is the value at pid lo+i; produce maximal affine runs *)
+  let n = Array.length values in
+  let pieces = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let start = !i in
+    if !i = n - 1 then incr i
+    else begin
+      let d = values.(!i + 1) - values.(!i) in
+      incr i;
+      while !i < n - 1 && values.(!i + 1) - values.(!i) = d do
+        incr i
+      done;
+      incr i
+    end;
+    let l = lo + start and h = lo + !i - 1 in
+    let a = if h > l then (values.(!i - 1) - values.(start)) / (h - l) else 0 in
+    let b = values.(start) - (a * l) in
+    pieces := { ip_lo = l; ip_hi = h; ip_a = a; ip_b = b } :: !pieces
+  done;
+  List.rev !pieces
+
+let bytes_pieces ~word ~lo ~hi (parts : Skeleton.part list) :
+    ipiece list * bool =
+  let unknown = ref false in
+  let symbolic =
+    List.map
+      (fun part ->
+        match classify_part part with
+        | `Unknown ->
+          unknown := true;
+          Some (`Const 0)
+        | `Const c -> Some (`Const c)
+        | `Affine (a, b) -> Some (`Affine (a, b))
+        | `Opaque -> None)
+      parts
+  in
+  let pieces =
+    if List.for_all Option.is_some symbolic then begin
+      (* cut points: each affine part clamps to 0 where a*p + b <= 0 *)
+      let cuts = ref [ lo; hi + 1 ] in
+      List.iter
+        (function
+          | Some (`Affine (a, b)) when a <> 0 ->
+            (* a*p + b = 0 at p = -b/a; the max(0, .) clamp flips in
+               [floor(-b/a), floor(-b/a) + 1] *)
+            let c1 = if a > 0 then fdiv (-b) a else fdiv b (-a) in
+            List.iter
+              (fun c -> if c > lo && c <= hi then cuts := c :: !cuts)
+              [ c1; c1 + 1 ]
+          | _ -> ())
+        symbolic;
+      let cuts = List.sort_uniq compare !cuts in
+      let rec segs = function
+        | [] | [ _ ] -> []
+        | x :: (y :: _ as rest) -> (x, y - 1) :: segs rest
+      in
+      List.map
+        (fun (l, h) ->
+          (* within a segment every affine part keeps its clamp sign *)
+          let a, b =
+            List.fold_left
+              (fun (a, b) part ->
+                match part with
+                | Some (`Const c) -> (a, b + c)
+                | Some (`Affine (pa, pb)) ->
+                  if (pa * l) + pb <= 0 && (pa * h) + pb <= 0 then (a, b)
+                  else (a + pa, b + pb)
+                | None -> (a, b))
+              (0, 0) symbolic
+          in
+          { ip_lo = l; ip_hi = h; ip_a = a * word; ip_b = b * word })
+        (segs cuts)
+    end
+    else begin
+      (* exotic section: evaluate per pid, coalesce into affine runs *)
+      let values =
+        Array.init (hi - lo + 1) (fun i ->
+            let s = lo + i in
+            List.fold_left
+              (fun acc part ->
+                match part_elems_at part s with
+                | Some e -> acc + (e * word)
+                | None ->
+                  unknown := true;
+                  acc)
+              0 parts)
+      in
+      coalesce_values ~lo values
+    end
+  in
+  (pieces, !unknown)
+
+(* --- receive matching (mirrors Skeleton's algebra) ---------------------- *)
+
+let reflect c s =
+  Iset.of_intervals (List.map (fun (a, b) -> (c - b, c - a)) (Iset.intervals s))
+
+let image_of_interval (s : Skeleton.aff) ~lo ~hi =
+  if s.Skeleton.a = 0 then Iset.singleton s.Skeleton.b
+  else if s.Skeleton.a = 1 then Iset.range (lo + s.Skeleton.b) (hi + s.Skeleton.b)
+  else if s.Skeleton.a = -1 then
+    Iset.range (s.Skeleton.b - hi) (s.Skeleton.b - lo)
+  else Iset.of_list (List.init (hi - lo + 1) (fun i -> Skeleton.aff_at s (lo + i)))
+
+(* --- critical-path nodes ------------------------------------------------ *)
+
+type step = {
+  st_what : string;
+  st_loc : Loc.t;
+  st_plo : int;
+  st_phi : int;
+  st_time : float;  (* completion time (seconds, virtual) *)
+}
+
+type node = {
+  nd_what : string;
+  nd_loc : Loc.t;
+  nd_plo : int;
+  nd_phi : int;
+  nd_time : float;
+  nd_pred : node option;
+}
+
+(* --- the timed replay --------------------------------------------------- *)
+
+type batch = {
+  bt_tag : int;
+  bt_dest : Skeleton.aff option;
+  mutable bt_senders : Iset.t;  (* unconsumed *)
+  bt_aff : (float * float) option;  (* arrival(s) = a*s + b when affine *)
+  bt_arr_of : int -> float;
+  bt_round : int;
+  bt_node : node option;
+}
+
+type group = {
+  mutable g_lo : int;
+  mutable g_hi : int;
+  mutable g_cur : int;
+  mutable g_seen : bool;
+  mutable g_ca : float;  (* clock(p) = g_ca*p + g_cb *)
+  mutable g_cb : float;
+  mutable g_last : node option;
+}
+
+type site_acc = {
+  mutable sa_messages : int;
+  mutable sa_bytes : int;
+  mutable sa_bcasts : int;
+  mutable sa_remaps : int;
+  mutable sa_seconds : float;
+  sa_insts : (int, unit) Hashtbl.t;  (* distinct event indexes *)
+  mutable sa_max_msg : int;  (* largest single message, bytes *)
+}
+
+type st = {
+  n : int;
+  cfg : Config.t;
+  mutable batches : batch list;  (* newest first; scan via batches_fwd *)
+  mutable groups : group list;
+  mutable round : int;
+  mutable progress : bool;
+  (* totals, mirroring Stats *)
+  mutable messages : int;
+  mutable message_bytes : int;
+  mutable bcasts : int;
+  mutable bcast_bytes : int;
+  mutable remaps : int;
+  mutable remap_marks : int;
+  mutable remap_bytes : int;
+  (* per-processor contributions *)
+  mutable c_msgs : ipiece list;
+  mutable c_bytes : ipiece list;
+  mutable c_send : fpiece list;  (* alpha startup charged to senders *)
+  mutable c_wait : fpiece list;  (* receive waits *)
+  mutable c_coll : fpiece list;  (* collective barrier + transfer waits *)
+  sites : (Loc.t * string, site_acc) Hashtbl.t;
+  mutable notes : string list;  (* cost-model assumptions, deduped *)
+  counted_colls : (int, unit) Hashtbl.t;
+}
+
+let clock_at g p = (g.g_ca *. float_of_int p) +. g.g_cb
+
+let group_max_clock g = Float.max (clock_at g g.g_lo) (clock_at g g.g_hi)
+
+let note st msg = if not (List.mem msg st.notes) then st.notes <- msg :: st.notes
+
+let site st loc what =
+  match Hashtbl.find_opt st.sites (loc, what) with
+  | Some s -> s
+  | None ->
+    let s =
+      { sa_messages = 0; sa_bytes = 0; sa_bcasts = 0; sa_remaps = 0;
+        sa_seconds = 0.0; sa_insts = Hashtbl.create 4; sa_max_msg = 0 }
+    in
+    Hashtbl.replace st.sites (loc, what) s;
+    s
+
+let batches_fwd st = List.rev st.batches
+
+let sender_visible st (b : batch) ~sender ~receiver =
+  b.bt_round < st.round || sender <= receiver
+
+type mset = Known of Iset.t | Unknown
+
+let matched_set st (b : batch) ~lo ~hi (s : Skeleton.aff) : mset =
+  let vis ms =
+    if b.bt_round < st.round then ms
+    else
+      let k = s.Skeleton.a - 1 and c = s.Skeleton.b in
+      let ok =
+        if k = 0 then if c <= 0 then Iset.range lo hi else Iset.empty
+        else if k > 0 then begin
+          let bd = fdiv (-c) k in
+          if bd < lo then Iset.empty else Iset.range lo (min hi bd)
+        end
+        else begin
+          let bd = cdiv c (-k) in
+          if bd > hi then Iset.empty else Iset.range (max lo bd) hi
+        end
+      in
+      Iset.inter ms ok
+  in
+  match b.bt_dest with
+  | None -> if Iset.is_empty b.bt_senders then Known Iset.empty else Unknown
+  | Some d ->
+    let coeff = (d.Skeleton.a * s.Skeleton.a) - 1
+    and c0 = (d.Skeleton.a * s.Skeleton.b) + d.Skeleton.b in
+    if coeff <> 0 then
+      if c0 mod coeff = 0 then begin
+        let p = -(c0 / coeff) in
+        if p >= lo && p <= hi && Iset.mem (Skeleton.aff_at s p) b.bt_senders
+        then Known (vis (Iset.singleton p))
+        else Known Iset.empty
+      end
+      else Known Iset.empty
+    else if c0 <> 0 then Known Iset.empty
+    else if s.Skeleton.a = 1 then
+      Known
+        (vis
+           (Iset.inter (Iset.range lo hi)
+              (Iset.shift (-s.Skeleton.b) b.bt_senders)))
+    else if s.Skeleton.a = -1 then
+      Known (vis (Iset.inter (Iset.range lo hi) (reflect s.Skeleton.b b.bt_senders)))
+    else Unknown
+
+let match_group st ~lo ~hi (s : Skeleton.aff) tag :
+    [ `All of batch | `Split | `None ] =
+  let full = Iset.range lo hi in
+  let rec scan = function
+    | [] -> `None
+    | b :: rest when b.bt_tag <> tag -> scan rest
+    | b :: rest -> (
+      match matched_set st b ~lo ~hi s with
+      | Unknown -> `Split
+      | Known ms ->
+        if Iset.is_empty ms then scan rest
+        else if Iset.equal ms full then `All b
+        else `Split)
+  in
+  scan (batches_fwd st)
+
+let match_one st p (src : int option) tag : (batch * int) option =
+  let fwd = batches_fwd st in
+  let from_wild () =
+    match
+      List.find_opt
+        (fun b ->
+          b.bt_tag = tag && b.bt_dest = None
+          &&
+          match Iset.min_elt b.bt_senders with
+          | Some s -> sender_visible st b ~sender:s ~receiver:p
+          | None -> false)
+        fwd
+    with
+    | Some b -> (
+      match Iset.min_elt b.bt_senders with
+      | Some sdr -> Some (b, sdr)
+      | None -> None)
+    | None -> None
+  in
+  match src with
+  | Some sp -> (
+    let direct =
+      List.find_opt
+        (fun b ->
+          b.bt_tag = tag
+          &&
+          match b.bt_dest with
+          | Some d ->
+            Iset.mem sp b.bt_senders
+            && Skeleton.aff_at d sp = p
+            && sender_visible st b ~sender:sp ~receiver:p
+          | None -> false)
+        fwd
+    in
+    match direct with Some b -> Some (b, sp) | None -> from_wild ())
+  | None -> (
+    let sender_for b =
+      match b.bt_dest with
+      | Some d ->
+        if d.Skeleton.a = 0 then
+          if d.Skeleton.b = p then Iset.min_elt b.bt_senders else None
+        else if (p - d.Skeleton.b) mod d.Skeleton.a = 0 then begin
+          let sdr = (p - d.Skeleton.b) / d.Skeleton.a in
+          if Iset.mem sdr b.bt_senders then Some sdr else None
+        end
+        else None
+      | None -> None
+    in
+    let rec scan = function
+      | [] -> None
+      | b :: rest when b.bt_tag <> tag -> scan rest
+      | b :: rest -> (
+        match sender_for b with
+        | Some sdr when sender_visible st b ~sender:sdr ~receiver:p ->
+          Some (b, sdr)
+        | _ -> scan rest)
+    in
+    match scan fwd with Some r -> Some r | None -> from_wild ())
+
+let consume (b : batch) sdrs = b.bt_senders <- Iset.diff b.bt_senders sdrs
+
+(* --- group plumbing ----------------------------------------------------- *)
+
+let sort_groups st =
+  st.groups <- List.sort (fun a b -> compare a.g_lo b.g_lo) st.groups
+
+let normalize st =
+  sort_groups st;
+  let rec merge = function
+    | a :: b :: rest
+      when a.g_cur = b.g_cur && b.g_lo = a.g_hi + 1 && a.g_ca = b.g_ca
+           && a.g_cb = b.g_cb ->
+      a.g_hi <- b.g_hi;
+      merge (a :: rest)
+    | a :: rest -> a :: merge rest
+    | [] -> []
+  in
+  st.groups <- merge st.groups
+
+let split_singleton st g =
+  let s =
+    { g_lo = g.g_lo; g_hi = g.g_lo; g_cur = g.g_cur; g_seen = false;
+      g_ca = g.g_ca; g_cb = g.g_cb; g_last = g.g_last }
+  in
+  g.g_lo <- g.g_lo + 1;
+  st.groups <- s :: st.groups
+
+let split_at st g cuts =
+  (* cuts: positions c with g_lo < c <= g_hi; upper pieces peel off *)
+  List.iter
+    (fun c ->
+      let upper =
+        { g_lo = c; g_hi = g.g_hi; g_cur = g.g_cur; g_seen = false;
+          g_ca = g.g_ca; g_cb = g.g_cb; g_last = g.g_last }
+      in
+      g.g_hi <- c - 1;
+      st.groups <- upper :: st.groups)
+    (List.rev (List.sort_uniq compare cuts))
+
+let split_at_event st g (ev : Skeleton.event) =
+  split_at st g
+    (List.filter
+       (fun c -> c > g.g_lo && c <= g.g_hi)
+       [ ev.Skeleton.e_plo; ev.Skeleton.e_phi + 1 ])
+
+(* --- event processing --------------------------------------------------- *)
+
+let process_send st g ~idx ~loc (dest : Skeleton.aff option) tag parts =
+  let alpha = st.cfg.Config.alpha and beta = st.cfg.Config.beta in
+  let lo = g.g_lo and hi = g.g_hi in
+  g.g_cb <- g.g_cb +. alpha;
+  let n = hi - lo + 1 in
+  st.messages <- st.messages + n;
+  st.c_msgs <- { ip_lo = lo; ip_hi = hi; ip_a = 0; ip_b = 1 } :: st.c_msgs;
+  st.c_send <-
+    { fp_lo = lo; fp_hi = hi; fp_a = 0.0; fp_b = alpha } :: st.c_send;
+  let pieces, unknown =
+    bytes_pieces ~word:st.cfg.Config.word_bytes ~lo ~hi parts
+  in
+  if unknown then
+    note st
+      (Fmt.str
+         "send%s: payload size not statically evaluable; counted as 0 bytes"
+         (if loc <> Loc.none then Fmt.str " at %a" Loc.pp loc else ""));
+  if dest = None then
+    note st
+      (Fmt.str
+         "send%s: destination not statically evaluable; matched first-fit"
+         (if loc <> Loc.none then Fmt.str " at %a" Loc.pp loc else ""));
+  let sa = site st loc "send" in
+  Hashtbl.replace sa.sa_insts idx ();
+  sa.sa_messages <- sa.sa_messages + n;
+  List.iter
+    (fun piece ->
+      let l = piece.ip_lo and h = piece.ip_hi in
+      let total = isum_piece piece in
+      st.message_bytes <- st.message_bytes + total;
+      st.c_bytes <- piece :: st.c_bytes;
+      sa.sa_bytes <- sa.sa_bytes + total;
+      sa.sa_seconds <-
+        sa.sa_seconds
+        +. (float_of_int (h - l + 1) *. alpha)
+        +. (beta *. float_of_int total);
+      sa.sa_max_msg <-
+        max sa.sa_max_msg
+          (max
+             ((piece.ip_a * l) + piece.ip_b)
+             ((piece.ip_a * h) + piece.ip_b));
+      let aa = g.g_ca +. (beta *. float_of_int piece.ip_a)
+      and ab = g.g_cb +. (beta *. float_of_int piece.ip_b) in
+      let nd =
+        { nd_what = "send"; nd_loc = loc; nd_plo = l; nd_phi = h;
+          nd_time =
+            Float.max
+              ((g.g_ca *. float_of_int l) +. g.g_cb)
+              ((g.g_ca *. float_of_int h) +. g.g_cb);
+          nd_pred = g.g_last }
+      in
+      st.batches <-
+        { bt_tag = tag; bt_dest = dest; bt_senders = Iset.range l h;
+          bt_aff = Some (aa, ab);
+          bt_arr_of = (fun s -> (aa *. float_of_int s) +. ab);
+          bt_round = st.round; bt_node = Some nd }
+        :: st.batches;
+      g.g_last <- Some nd)
+    pieces
+
+(* Returns [true] when the group advanced past the recv. *)
+let process_recv_singleton st g ~loc (src : Skeleton.aff option) tag =
+  let p = g.g_lo in
+  let src_c = Option.map (fun s -> Skeleton.aff_at s p) src in
+  if src = None then
+    note st
+      (Fmt.str
+         "recv%s: source not statically evaluable; matched first-fit"
+         (if loc <> Loc.none then Fmt.str " at %a" Loc.pp loc else ""));
+  match match_one st p src_c tag with
+  | Some (b, sdr) ->
+    consume b (Iset.singleton sdr);
+    let own = clock_at g p in
+    let arr = b.bt_arr_of sdr in
+    if arr > own then begin
+      st.c_wait <-
+        { fp_lo = p; fp_hi = p; fp_a = 0.0; fp_b = arr -. own } :: st.c_wait;
+      g.g_ca <- 0.0;
+      g.g_cb <- arr;
+      g.g_last <-
+        Some
+          { nd_what = "recv"; nd_loc = loc; nd_plo = p; nd_phi = p;
+            nd_time = arr; nd_pred = b.bt_node }
+    end;
+    true
+  | None -> false
+
+(* Binary search: the affine sign function d(r) = da*r + db changes sign
+   at most once on [lo, hi]; return the first r whose sign differs from
+   d(lo)'s.  Assumes d(lo) and d(hi) disagree. *)
+let crossing ~lo ~hi da db =
+  let pos r = (da *. float_of_int r) +. db > 0.0 in
+  let s0 = pos lo in
+  let a = ref lo and b = ref hi in
+  while !b - !a > 1 do
+    let m = !a + ((!b - !a) / 2) in
+    if pos m = s0 then a := m else b := m
+  done;
+  !b
+
+type recv_outcome = Advanced | Blocked | Resplit
+
+let process_recv_group st g ~loc (s : Skeleton.aff) tag : recv_outcome =
+  let lo = g.g_lo and hi = g.g_hi in
+  match match_group st ~lo ~hi s tag with
+  | `None -> Blocked
+  | `Split ->
+    split_singleton st g;
+    Resplit
+  | `All b -> (
+    match b.bt_aff with
+    | None ->
+      split_singleton st g;
+      Resplit
+    | Some (aa, ab) ->
+      (* arrival(r) = aa*(s.a*r + s.b) + ab *)
+      let arr_a = aa *. float_of_int s.Skeleton.a
+      and arr_b = (aa *. float_of_int s.Skeleton.b) +. ab in
+      let da = arr_a -. g.g_ca and db = arr_b -. g.g_cb in
+      let d r = (da *. float_of_int r) +. db in
+      let dlo = d lo and dhi = d hi in
+      if dlo > 0.0 <> (dhi > 0.0) then begin
+        (* max(own, arrival) crosses inside the interval: split first,
+           each piece re-matches uniformly *)
+        split_at st g [ crossing ~lo ~hi da db ];
+        Resplit
+      end
+      else begin
+        consume b (image_of_interval s ~lo ~hi);
+        if dlo > 0.0 || dhi > 0.0 then begin
+          (* arrival wins (ties included where one endpoint is 0) *)
+          st.c_wait <-
+            { fp_lo = lo; fp_hi = hi; fp_a = da; fp_b = db } :: st.c_wait;
+          g.g_ca <- arr_a;
+          g.g_cb <- arr_b;
+          g.g_last <-
+            Some
+              { nd_what = "recv"; nd_loc = loc; nd_plo = lo; nd_phi = hi;
+                nd_time =
+                  Float.max
+                    ((arr_a *. float_of_int lo) +. arr_b)
+                    ((arr_a *. float_of_int hi) +. arr_b);
+                nd_pred = b.bt_node }
+        end;
+        Advanced
+      end)
+
+(* --- collectives -------------------------------------------------------- *)
+
+let payload_bytes st (payload : Skeleton.coll_payload) : int option =
+  match payload with
+  | Skeleton.Cp_scalar _ -> Some st.cfg.Config.word_bytes
+  | Skeleton.Cp_section { cs_triplets = Some tl; _ } ->
+    Some
+      (List.fold_left (fun acc tr -> acc * Triplet.count tr) 1 tl
+      * st.cfg.Config.word_bytes)
+  | Skeleton.Cp_section { cs_triplets = None; _ } -> None
+  | Skeleton.Cp_remap _ -> None
+
+(* Remap traffic from the same ownership arithmetic the scheduler uses,
+   without the per-element-per-processor loop: O(dist extents + P). *)
+let remap_traffic ~nprocs ~word (old_l : Layout.t) (new_l : Layout.t) =
+  let sent = Array.make nprocs 0
+  and received = Array.make nprocs 0
+  and npairs = Array.make nprocs 0 in
+  let bounds = old_l.Layout.bounds in
+  let total_elems =
+    List.fold_left (fun acc be -> acc * Layout.extent be) 1 bounds
+  in
+  (match (old_l.Layout.dist_dim, new_l.Layout.dist_dim) with
+  | None, _ -> ()  (* everything was replicated: every p already had it *)
+  | Some d_old, None ->
+    (* to replicated: every p needs every element; had only its own *)
+    let blo, bhi = List.nth bounds d_old in
+    let row = total_elems / (bhi - blo + 1) in
+    let owned_elems = Array.make nprocs 0 in
+    for i = blo to bhi do
+      let q = Layout.owner_of old_l ~nprocs i in
+      owned_elems.(q) <- owned_elems.(q) + row
+    done;
+    let owners = ref 0 in
+    Array.iter (fun c -> if c > 0 then incr owners) owned_elems;
+    for p = 0 to nprocs - 1 do
+      if owned_elems.(p) > 0 then begin
+        sent.(p) <- owned_elems.(p) * (nprocs - 1) * word;
+        npairs.(p) <- npairs.(p) + (nprocs - 1)
+      end;
+      received.(p) <- (total_elems - owned_elems.(p)) * word;
+      npairs.(p) <-
+        npairs.(p) + !owners - (if owned_elems.(p) > 0 then 1 else 0)
+    done
+  | Some d_old, Some d_new when d_old = d_new ->
+    let blo, bhi = List.nth bounds d_old in
+    let row = total_elems / (bhi - blo + 1) in
+    let partners = Hashtbl.create 16 in
+    for i = blo to bhi do
+      let q = Layout.owner_of old_l ~nprocs i in
+      let r = Layout.owner_of new_l ~nprocs i in
+      if q <> r then begin
+        sent.(q) <- sent.(q) + (row * word);
+        received.(r) <- received.(r) + (row * word);
+        Hashtbl.replace partners (q, r) ()
+      end
+    done;
+    Hashtbl.iter
+      (fun (q, r) () ->
+        npairs.(q) <- npairs.(q) + 1;
+        npairs.(r) <- npairs.(r) + 1)
+      partners
+  | Some d_old, Some d_new ->
+    let olo, ohi = List.nth bounds d_old in
+    let nlo, nhi = List.nth bounds d_new in
+    let row = total_elems / ((ohi - olo + 1) * (nhi - nlo + 1)) in
+    let partners = Hashtbl.create 16 in
+    for i = olo to ohi do
+      let q = Layout.owner_of old_l ~nprocs i in
+      for j = nlo to nhi do
+        let r = Layout.owner_of new_l ~nprocs j in
+        if q <> r then begin
+          sent.(q) <- sent.(q) + (row * word);
+          received.(r) <- received.(r) + (row * word);
+          Hashtbl.replace partners (q, r) ()
+        end
+      done
+    done;
+    Hashtbl.iter
+      (fun (q, r) () ->
+        npairs.(q) <- npairs.(q) + 1;
+        npairs.(r) <- npairs.(r) + 1)
+      partners);
+  (sent, received, npairs, Array.fold_left ( + ) 0 sent)
+
+let apply_timed_coll st (ev : Skeleton.event) =
+  match ev.Skeleton.e_kind with
+  | Skeleton.Ev_coll { id; site = _; label; root = _; payload } -> (
+    let loc = ev.Skeleton.e_loc in
+    let counted = Hashtbl.mem st.counted_colls id in
+    Hashtbl.replace st.counted_colls id ();
+    let tmax =
+      List.fold_left (fun acc g -> Float.max acc (group_max_clock g)) 0.0
+        st.groups
+    in
+    let arg =
+      List.find_opt (fun g -> group_max_clock g = tmax) st.groups
+    in
+    let pred = Option.bind arg (fun g -> g.g_last) in
+    match payload with
+    | Skeleton.Cp_scalar _ | Skeleton.Cp_section _ ->
+      let bytes =
+        match payload_bytes st payload with
+        | Some b -> b
+        | None ->
+          note st
+            (Fmt.str
+               "broadcast %s%s: payload size not statically evaluable; \
+                counted as 0 bytes"
+               label
+               (if loc <> Loc.none then Fmt.str " at %a" Loc.pp loc else ""));
+          0
+      in
+      if not counted then begin
+        st.bcasts <- st.bcasts + 1;
+        st.bcast_bytes <- st.bcast_bytes + bytes
+      end;
+      let cost = Config.bcast_cost st.cfg bytes in
+      let release = tmax +. cost in
+      let nd =
+        { nd_what = "bcast " ^ label; nd_loc = loc; nd_plo = 0;
+          nd_phi = st.n - 1; nd_time = release; nd_pred = pred }
+      in
+      List.iter
+        (fun g ->
+          st.c_coll <-
+            { fp_lo = g.g_lo; fp_hi = g.g_hi; fp_a = -.g.g_ca;
+              fp_b = release -. g.g_cb }
+            :: st.c_coll;
+          g.g_ca <- 0.0;
+          g.g_cb <- release;
+          g.g_last <- Some nd;
+          g.g_cur <- g.g_cur + 1)
+        st.groups;
+      let sa = site st loc "bcast" in
+      sa.sa_bcasts <- sa.sa_bcasts + 1;
+      sa.sa_bytes <- sa.sa_bytes + bytes;
+      sa.sa_seconds <- sa.sa_seconds +. cost
+    | Skeleton.Cp_remap { cr_array; cr_old; cr_new; cr_move } ->
+      if not cr_move then begin
+        if not counted then st.remap_marks <- st.remap_marks + 1;
+        let nd =
+          { nd_what = "remap (mark) " ^ cr_array; nd_loc = loc; nd_plo = 0;
+            nd_phi = st.n - 1; nd_time = tmax; nd_pred = pred }
+        in
+        List.iter
+          (fun g ->
+            st.c_coll <-
+              { fp_lo = g.g_lo; fp_hi = g.g_hi; fp_a = -.g.g_ca;
+                fp_b = tmax -. g.g_cb }
+              :: st.c_coll;
+            g.g_ca <- 0.0;
+            g.g_cb <- tmax;
+            g.g_last <- Some nd;
+            g.g_cur <- g.g_cur + 1)
+          st.groups
+      end
+      else begin
+        let sent, received, npairs, total =
+          remap_traffic ~nprocs:st.n ~word:st.cfg.Config.word_bytes cr_old
+            cr_new
+        in
+        if not counted then begin
+          st.remaps <- st.remaps + 1;
+          st.remap_bytes <- st.remap_bytes + total
+        end;
+        let cost p =
+          (float_of_int npairs.(p) *. st.cfg.Config.alpha)
+          +. (st.cfg.Config.beta *. float_of_int (sent.(p) + received.(p)))
+        in
+        let maxrel = ref tmax in
+        for p = 0 to st.n - 1 do
+          maxrel := Float.max !maxrel (tmax +. cost p)
+        done;
+        let nd =
+          { nd_what = "remap " ^ cr_array; nd_loc = loc; nd_plo = 0;
+            nd_phi = st.n - 1; nd_time = !maxrel; nd_pred = pred }
+        in
+        (* collective wait per p = release(p) - clock(p) *)
+        List.iter
+          (fun g ->
+            for p = g.g_lo to g.g_hi do
+              st.c_coll <-
+                { fp_lo = p; fp_hi = p; fp_a = 0.0;
+                  fp_b = tmax +. cost p -. clock_at g p }
+                :: st.c_coll
+            done)
+          st.groups;
+        let cur = (List.hd st.groups).g_cur + 1 in
+        (* rebuild groups as runs of equal post-remap release *)
+        let groups = ref [] in
+        let p = ref 0 in
+        while !p < st.n do
+          let c = cost !p in
+          let q = ref !p in
+          while !q + 1 < st.n && cost (!q + 1) = c do
+            incr q
+          done;
+          groups :=
+            { g_lo = !p; g_hi = !q; g_cur = cur; g_seen = false; g_ca = 0.0;
+              g_cb = tmax +. c; g_last = Some nd }
+            :: !groups;
+          p := !q + 1
+        done;
+        st.groups <- List.rev !groups;
+        let sa = site st loc "remap" in
+        sa.sa_remaps <- sa.sa_remaps + 1;
+        sa.sa_bytes <- sa.sa_bytes + total;
+        sa.sa_seconds <- sa.sa_seconds +. (!maxrel -. tmax)
+      end;
+      st.progress <- true)
+  | _ -> Diag.internal ~pass:"cost" "timed collective on a non-collective event"
+
+(* --- the group pump ----------------------------------------------------- *)
+
+let advance st (evs : Skeleton.event array) g =
+  let len = Array.length evs in
+  let continue_ = ref true in
+  while !continue_ do
+    if g.g_cur >= len then begin
+      g.g_seen <- true;
+      continue_ := false
+    end
+    else begin
+      let ev = evs.(g.g_cur) in
+      if ev.Skeleton.e_phi < g.g_lo || ev.Skeleton.e_plo > g.g_hi then
+        g.g_cur <- g.g_cur + 1
+      else if ev.Skeleton.e_plo > g.g_lo || ev.Skeleton.e_phi < g.g_hi then begin
+        split_at_event st g ev;
+        continue_ := false
+      end
+      else
+        match ev.Skeleton.e_kind with
+        | Skeleton.Ev_assume _ -> g.g_cur <- g.g_cur + 1
+        | Skeleton.Ev_coll _ ->
+          g.g_seen <- true;
+          continue_ := false
+        | Skeleton.Ev_send { dest; tag; parts } ->
+          if dest = None && g.g_lo < g.g_hi then begin
+            split_singleton st g;
+            continue_ := false
+          end
+          else begin
+            process_send st g ~idx:g.g_cur ~loc:ev.Skeleton.e_loc dest tag
+              parts;
+            g.g_cur <- g.g_cur + 1;
+            st.progress <- true
+          end
+        | Skeleton.Ev_recv { src; tag; arrays = _ } ->
+          if g.g_lo = g.g_hi then begin
+            if process_recv_singleton st g ~loc:ev.Skeleton.e_loc src tag
+            then begin
+              g.g_cur <- g.g_cur + 1;
+              st.progress <- true
+            end
+            else begin
+              g.g_seen <- true;
+              continue_ := false
+            end
+          end
+          else (
+            match src with
+            | None ->
+              split_singleton st g;
+              continue_ := false
+            | Some s -> (
+              match process_recv_group st g ~loc:ev.Skeleton.e_loc s tag with
+              | Advanced ->
+                g.g_cur <- g.g_cur + 1;
+                st.progress <- true
+              | Blocked ->
+                g.g_seen <- true;
+                continue_ := false
+              | Resplit -> continue_ := false))
+    end
+  done
+
+let rec pump st evs =
+  sort_groups st;
+  match List.find_opt (fun g -> not g.g_seen) st.groups with
+  | None -> ()
+  | Some g ->
+    advance st evs g;
+    pump st evs
+
+let replay st (events : Skeleton.event list) =
+  let evs = Array.of_list events in
+  let len = Array.length evs in
+  let continue_rounds = ref true in
+  while !continue_rounds do
+    st.progress <- false;
+    st.round <- st.round + 1;
+    List.iter (fun g -> g.g_seen <- false) st.groups;
+    normalize st;
+    pump st evs;
+    (* collective barrier: fires when the whole ensemble is parked at
+       the same emission *)
+    let at_coll g =
+      if g.g_cur >= len then None
+      else
+        match evs.(g.g_cur).Skeleton.e_kind with
+        | Skeleton.Ev_coll _ -> Some g.g_cur
+        | _ -> None
+    in
+    sort_groups st;
+    let ready =
+      match st.groups with
+      | [] -> false
+      | g0 :: rest -> (
+        match at_coll g0 with
+        | Some c0 -> List.for_all (fun g -> at_coll g = Some c0) rest
+        | None -> false)
+    in
+    if ready then begin
+      (match st.groups with
+      | g0 :: _ -> apply_timed_coll st evs.(g0.g_cur)
+      | [] -> ());
+      st.progress <- true
+    end;
+    if not st.progress then begin
+      (* quiescence with unfinished processors: the program would
+         deadlock dynamically.  Force past the blockage so the totals
+         still cover every event, and flag the prediction. *)
+      let blocked = List.filter (fun g -> g.g_cur < len) st.groups in
+      if blocked <> [] then begin
+        note st
+          "replay reached quiescence before all events completed \
+           (blocked receive or incomplete collective); remaining events \
+           priced without waits";
+        List.iter
+          (fun g ->
+            (match evs.(g.g_cur).Skeleton.e_kind with
+            | Skeleton.Ev_coll { id; payload; _ } ->
+              if not (Hashtbl.mem st.counted_colls id) then begin
+                Hashtbl.replace st.counted_colls id ();
+                match payload with
+                | Skeleton.Cp_scalar _ | Skeleton.Cp_section _ ->
+                  st.bcasts <- st.bcasts + 1;
+                  st.bcast_bytes <-
+                    st.bcast_bytes
+                    + Option.value ~default:0 (payload_bytes st payload)
+                | Skeleton.Cp_remap { cr_move; _ } ->
+                  if cr_move then st.remaps <- st.remaps + 1
+                  else st.remap_marks <- st.remap_marks + 1
+              end
+            | _ -> ());
+            g.g_cur <- g.g_cur + 1)
+          blocked;
+        st.progress <- true
+      end
+    end;
+    continue_rounds := st.progress
+  done
+
+(* --- results ------------------------------------------------------------ *)
+
+type site_cost = {
+  site_loc : Loc.t;
+  site_what : string;  (* "send" | "bcast" | "remap" *)
+  site_messages : int;
+  site_bytes : int;
+  site_bcasts : int;
+  site_remaps : int;
+  site_seconds : float;
+}
+
+type t = {
+  nprocs : int;
+  messages : int;
+  message_bytes : int;
+  bcasts : int;
+  bcast_bytes : int;
+  remaps : int;
+  remap_marks : int;
+  remap_bytes : int;
+  makespan : float;
+  exact : bool;
+  assumptions : string list;
+  per_proc_messages : ipiece list;
+  per_proc_bytes : ipiece list;
+  send_seconds : fpiece list;
+  wait_seconds : fpiece list;
+  coll_seconds : fpiece list;
+  critical_path : step list;
+  sites : site_cost list;
+  findings : Finding.t list;
+  events : int;
+  regions_excluded : int;
+  profile_used : bool;
+}
+
+let comm_ops t = t.messages + t.bcasts + t.remaps + t.remap_marks
+
+let region_has_comm (rg : Absint.region) =
+  List.exists
+    (fun (ev : Skeleton.event) ->
+      match ev.Skeleton.e_kind with
+      | Skeleton.Ev_send _ | Skeleton.Ev_recv _ | Skeleton.Ev_coll _ -> true
+      | Skeleton.Ev_assume _ -> false)
+    (rg.Absint.rg_then @ rg.Absint.rg_else)
+
+let analyze ?profile:prof ~(config : Config.t) (prog : Node.program) : t =
+  let nprocs = config.Config.nprocs in
+  let branch_oracle = Option.map oracle prof in
+  let r = Absint.walk ?branch_oracle ~nprocs prog in
+  let st =
+    { n = nprocs; cfg = config; batches = []; groups =
+        [ { g_lo = 0; g_hi = nprocs - 1; g_cur = 0; g_seen = false;
+            g_ca = 0.0; g_cb = 0.0; g_last = None } ];
+      round = 0; progress = false; messages = 0; message_bytes = 0;
+      bcasts = 0; bcast_bytes = 0; remaps = 0; remap_marks = 0;
+      remap_bytes = 0; c_msgs = []; c_bytes = []; c_send = []; c_wait = [];
+      c_coll = []; sites = Hashtbl.create 16; notes = [];
+      counted_colls = Hashtbl.create 16 }
+  in
+  if not r.Absint.complete then
+    note st
+      "the abstract walk did not cover the whole program (budget or \
+       invalid node program); totals cover the analysed prefix only";
+  let comm_regions =
+    List.filter region_has_comm r.Absint.regions |> List.length
+  in
+  if comm_regions > 0 then
+    note st
+      (Fmt.str
+         "communication inside %d statically-unresolved region%s is \
+          excluded from the totals"
+         comm_regions
+         (if comm_regions = 1 then "" else "s"));
+  (match prof with
+  | Some p ->
+    let comm_locs =
+      List.filter_map
+        (fun rg ->
+          if region_has_comm rg then Some rg.Absint.rg_if_loc else None)
+        r.Absint.regions
+    in
+    List.iter
+      (fun (loc, tcnt, fcnt) ->
+        if List.mem loc comm_locs then
+          note st
+            (Fmt.str
+               "IF at %a took both branches sequentially (%d true, %d \
+                false); its communication is excluded"
+               Loc.pp loc tcnt fcnt))
+      (mixed_sites p)
+  | None -> ());
+  replay st r.Absint.events;
+  let makespan =
+    List.fold_left (fun acc g -> Float.max acc (group_max_clock g)) 0.0
+      st.groups
+  in
+  (* critical path: predecessor chain from a processor achieving the
+     makespan *)
+  let critical_path =
+    let last =
+      List.find_opt (fun g -> group_max_clock g = makespan) st.groups
+      |> Fun.flip Option.bind (fun g -> g.g_last)
+    in
+    let rec chain acc = function
+      | None -> acc
+      | Some nd ->
+        chain
+          ({ st_what = nd.nd_what; st_loc = nd.nd_loc; st_plo = nd.nd_plo;
+             st_phi = nd.nd_phi; st_time = nd.nd_time }
+          :: acc)
+          nd.nd_pred
+    in
+    chain [] last
+  in
+  let sites =
+    Hashtbl.fold
+      (fun (loc, what) sa acc ->
+        { site_loc = loc; site_what = what; site_messages = sa.sa_messages;
+          site_bytes = sa.sa_bytes; site_bcasts = sa.sa_bcasts;
+          site_remaps = sa.sa_remaps; site_seconds = sa.sa_seconds }
+        :: acc)
+      st.sites []
+    |> List.sort (fun a b -> compare b.site_seconds a.site_seconds)
+  in
+  (* findings: provably-unvectorized per-element sends, plus one Info
+     per cost-model assumption *)
+  let findings = ref [] in
+  Hashtbl.iter
+    (fun (loc, what) sa ->
+      if
+        what = "send"
+        && Hashtbl.length sa.sa_insts >= 4
+        && sa.sa_max_msg <= config.Config.word_bytes
+        && sa.sa_messages > 0
+      then
+        findings :=
+          Finding.make ~loc Finding.Warning "unvectorized-comm"
+            (Fmt.str
+               "%d per-element messages (each <= 1 element) sent from this \
+                statement: message vectorization did not apply"
+               (Hashtbl.length sa.sa_insts))
+          :: !findings)
+    st.sites;
+  List.iter
+    (fun msg ->
+      findings :=
+        Finding.make Finding.Info "cost-assumption" msg :: !findings)
+    st.notes;
+  {
+    nprocs;
+    messages = st.messages;
+    message_bytes = st.message_bytes;
+    bcasts = st.bcasts;
+    bcast_bytes = st.bcast_bytes;
+    remaps = st.remaps;
+    remap_marks = st.remap_marks;
+    remap_bytes = st.remap_bytes;
+    makespan;
+    exact = (st.notes = []);
+    assumptions = List.rev st.notes;
+    per_proc_messages = sweep_int st.c_msgs;
+    per_proc_bytes = sweep_int st.c_bytes;
+    send_seconds = sweep_float st.c_send;
+    wait_seconds = sweep_float st.c_wait;
+    coll_seconds = sweep_float st.c_coll;
+    critical_path;
+    sites;
+    findings = Finding.sort !findings;
+    events = List.length r.Absint.events;
+    regions_excluded = comm_regions;
+    profile_used = prof <> None;
+  }
+
+(* --- per-processor queries ---------------------------------------------- *)
+
+let messages_at t p = ipieces_at t.per_proc_messages p
+let bytes_at t p = ipieces_at t.per_proc_bytes p
+let wait_at t p = fpieces_at t.wait_seconds p +. fpieces_at t.coll_seconds p
+let send_time_at t p = fpieces_at t.send_seconds p
+
+(* --- serialization ------------------------------------------------------ *)
+
+let ipieces_json ps =
+  Json.List
+    (List.map
+       (fun c ->
+         Json.Obj
+           [ ("lo", Json.Int c.ip_lo); ("hi", Json.Int c.ip_hi);
+             ("a", Json.Int c.ip_a); ("b", Json.Int c.ip_b) ])
+       ps)
+
+let fpieces_json ps =
+  Json.List
+    (List.map
+       (fun c ->
+         Json.Obj
+           [ ("lo", Json.Int c.fp_lo); ("hi", Json.Int c.fp_hi);
+             ("a", Json.Float c.fp_a); ("b", Json.Float c.fp_b) ])
+       ps)
+
+let loc_json (loc : Loc.t) =
+  if loc = Loc.none then Json.Null
+  else
+    Json.Obj
+      [ ("file", Json.Str loc.Loc.file); ("line", Json.Int loc.Loc.line);
+        ("col", Json.Int loc.Loc.col) ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("nprocs", Json.Int t.nprocs);
+      ("messages", Json.Int t.messages);
+      ("message_bytes", Json.Int t.message_bytes);
+      ("bcasts", Json.Int t.bcasts);
+      ("bcast_bytes", Json.Int t.bcast_bytes);
+      ("remaps", Json.Int t.remaps);
+      ("remap_marks", Json.Int t.remap_marks);
+      ("remap_bytes", Json.Int t.remap_bytes);
+      ("comm_ops", Json.Int (comm_ops t));
+      ("predicted_elapsed_seconds", Json.Float t.makespan);
+      ("exact", Json.Bool t.exact);
+      ("assumptions", Json.List (List.map (fun s -> Json.Str s) t.assumptions));
+      ("per_proc_messages", ipieces_json t.per_proc_messages);
+      ("per_proc_bytes", ipieces_json t.per_proc_bytes);
+      ("send_seconds", fpieces_json t.send_seconds);
+      ("wait_seconds", fpieces_json t.wait_seconds);
+      ("coll_seconds", fpieces_json t.coll_seconds);
+      ( "critical_path",
+        Json.List
+          (List.map
+             (fun s ->
+               Json.Obj
+                 [ ("what", Json.Str s.st_what); ("loc", loc_json s.st_loc);
+                   ("plo", Json.Int s.st_plo); ("phi", Json.Int s.st_phi);
+                   ("seconds", Json.Float s.st_time) ])
+             t.critical_path) );
+      ( "sites",
+        Json.List
+          (List.map
+             (fun s ->
+               Json.Obj
+                 [ ("loc", loc_json s.site_loc);
+                   ("what", Json.Str s.site_what);
+                   ("messages", Json.Int s.site_messages);
+                   ("bytes", Json.Int s.site_bytes);
+                   ("bcasts", Json.Int s.site_bcasts);
+                   ("remaps", Json.Int s.site_remaps);
+                   ("seconds", Json.Float s.site_seconds) ])
+             t.sites) );
+      ("events", Json.Int t.events);
+      ("regions_excluded", Json.Int t.regions_excluded);
+      ("profile_used", Json.Bool t.profile_used);
+    ]
+
+let to_metrics t : Fd_trace.Metrics.t =
+  let m = Fd_trace.Metrics.create () in
+  let c name v =
+    Fd_trace.Metrics.set_counter (Fd_trace.Metrics.counter m name) v
+  in
+  let g name v = Fd_trace.Metrics.set (Fd_trace.Metrics.gauge m name) v in
+  c "nprocs" t.nprocs;
+  c "messages" t.messages;
+  c "message_bytes" t.message_bytes;
+  c "bcasts" t.bcasts;
+  c "bcast_bytes" t.bcast_bytes;
+  c "remaps" t.remaps;
+  c "remap_marks" t.remap_marks;
+  c "remap_bytes" t.remap_bytes;
+  c "comm_ops" (comm_ops t);
+  c "cost_exact" (if t.exact then 1 else 0);
+  c "cost_regions_excluded" t.regions_excluded;
+  g "elapsed_seconds" t.makespan;
+  m
+
+let us s = s *. 1e6
+
+let pp_pieces_int ppf ps =
+  let pp_one ppf c =
+    if c.ip_lo = c.ip_hi then
+      Fmt.pf ppf "p%d: %d" c.ip_lo ((c.ip_a * c.ip_lo) + c.ip_b)
+    else if c.ip_a = 0 then
+      Fmt.pf ppf "p%d..p%d: %d" c.ip_lo c.ip_hi c.ip_b
+    else
+      Fmt.pf ppf "p%d..p%d: %d*p%+d" c.ip_lo c.ip_hi c.ip_a c.ip_b
+  in
+  Fmt.pf ppf "%a" (Fmt.list ~sep:(Fmt.any ", ") pp_one) ps
+
+let pp ppf t =
+  Fmt.pf ppf "predicted communication cost for P=%d:@," t.nprocs;
+  Fmt.pf ppf "  messages      %d (%d bytes)@," t.messages t.message_bytes;
+  Fmt.pf ppf "  bcasts        %d (%d bytes)@," t.bcasts t.bcast_bytes;
+  Fmt.pf ppf "  remaps        %d physical (%d bytes), %d mark-only@,"
+    t.remaps t.remap_bytes t.remap_marks;
+  Fmt.pf ppf "  makespan      %.1fus%s@," (us t.makespan)
+    (if t.exact then "" else " (approximate)");
+  if t.per_proc_messages <> [] then
+    Fmt.pf ppf "  msgs/proc     %a@," pp_pieces_int t.per_proc_messages;
+  if t.per_proc_bytes <> [] then
+    Fmt.pf ppf "  bytes/proc    %a@," pp_pieces_int t.per_proc_bytes;
+  List.iter (fun a -> Fmt.pf ppf "  assumption    %s@," a) t.assumptions
+
+let pp_critical_path ppf t =
+  if t.critical_path = [] then
+    Fmt.pf ppf "critical path: empty (no timed communication)@,"
+  else begin
+    Fmt.pf ppf "critical path (%d events to t=%.1fus):@,"
+      (List.length t.critical_path) (us t.makespan);
+    List.iter
+      (fun s ->
+        Fmt.pf ppf "  %8.1fus  %s %s%s@," (us s.st_time)
+          (if s.st_plo = s.st_phi then Fmt.str "p%d" s.st_plo
+           else Fmt.str "p%d..p%d" s.st_plo s.st_phi)
+          s.st_what
+          (if s.st_loc <> Loc.none then Fmt.str "  [%a]" Loc.pp s.st_loc
+           else ""))
+      t.critical_path
+  end
+
+let pp_sites ppf t =
+  if t.sites = [] then Fmt.pf ppf "no communication sites@,"
+  else begin
+    Fmt.pf ppf "per-site communication cost (most expensive first):@,";
+    List.iter
+      (fun s ->
+        Fmt.pf ppf "  %8.1fus  %-5s %6d msgs %8d bytes  %s@,"
+          (us s.site_seconds) s.site_what
+          (s.site_messages + s.site_bcasts + s.site_remaps)
+          s.site_bytes
+          (if s.site_loc <> Loc.none then Fmt.str "%a" Loc.pp s.site_loc
+           else "<generated>"))
+      t.sites
+  end

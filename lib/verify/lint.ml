@@ -12,7 +12,15 @@
    - an array reference at a point no decomposition reaches, for an
      array that IS aligned later in the unit ("use before placement") —
      detected through the [reaching] callback, which the driver backs
-     with the interprocedural reaching-decompositions analysis. *)
+     with the interprocedural reaching-decompositions analysis;
+   - a REALIGN/REDISTRIBUTE provably identical to the placement already
+     reaching it ("no-op remap") — the executable statement triggers a
+     barrier and a remap event at run time but moves no data.  Found by
+     a small intra-unit dataflow walk over placement statements; joins
+     (IF branches, DO back edges) forget any placement the paths
+     disagree on, so the lint never flags a remap that could be live on
+     some path, and a unit entry is always unknown (caller-dependent),
+     so fig15-style cross-procedure redistributes are never flagged. *)
 
 open Fd_frontend
 
@@ -95,6 +103,66 @@ let unit_findings ?reaching (cu : Sema.checked_unit) : Finding.t list =
               to it"
              d u.Ast.uname))
     distributed;
+  (* 4. REALIGN/REDISTRIBUTE identical to the reaching placement.
+     Forward walk with two environments — decomposition/array name ->
+     reaching DISTRIBUTE spec, and array name -> reaching ALIGN spec.
+     Absence from a map means "unknown"; a join keeps a binding only
+     when both sides agree, and a DO body is iterated to a fixpoint
+     before warnings are emitted so a placement changed later in the
+     loop body invalidates the loop-entry view. *)
+  let module M = Map.Make (String) in
+  let pp_dist = function
+    | Ast.Block -> "block"
+    | Ast.Cyclic -> "cyclic"
+    | Ast.Block_cyclic k -> Fmt.str "cyclic(%d)" k
+    | Ast.Star -> ":"
+  in
+  let merge a b =
+    M.merge
+      (fun _ x y ->
+        match (x, y) with Some v, Some w when v = w -> Some v | _ -> None)
+      a b
+  in
+  let merge2 (d1, a1) (d2, a2) = (merge d1 d2, merge a1 a2) in
+  let equal2 (d1, a1) (d2, a2) = M.equal ( = ) d1 d2 && M.equal ( = ) a1 a2 in
+  let rec walk_stmts ~emit st stmts =
+    List.fold_left (walk ~emit) st stmts
+  and walk ~emit ((denv, aenv) as st) s =
+    match s.Ast.kind with
+    | Ast.Distribute { decomp; dists } ->
+      (match M.find_opt decomp denv with
+      | Some prev when prev = dists && emit ->
+        add ~loc:s.Ast.loc Finding.Warning "noop-remap"
+          (Fmt.str
+             "DISTRIBUTE %s(%s) in %s matches the distribution already \
+              reaching it — the remap moves no data"
+             decomp
+             (String.concat ", " (List.map pp_dist dists))
+             u.Ast.uname)
+      | _ -> ());
+      (M.add decomp dists denv, aenv)
+    | Ast.Align { array; target; subs } ->
+      (match M.find_opt array aenv with
+      | Some prev when prev = (target, subs) && emit ->
+        add ~loc:s.Ast.loc Finding.Warning "noop-remap"
+          (Fmt.str
+             "ALIGN %s with %s in %s matches the alignment already \
+              reaching it — the remap moves no data"
+             array target u.Ast.uname)
+      | _ -> ());
+      (denv, M.add array (target, subs) aenv)
+    | Ast.Do { body; _ } ->
+      let rec fix entry =
+        let entry' = merge2 entry (walk_stmts ~emit:false entry body) in
+        if equal2 entry' entry then entry else fix entry'
+      in
+      let entry = fix st in
+      merge2 entry (walk_stmts ~emit entry body)
+    | Ast.If { then_; else_; _ } ->
+      merge2 (walk_stmts ~emit st then_) (walk_stmts ~emit st else_)
+    | Ast.Assign _ | Ast.Call _ | Ast.Return | Ast.Print _ -> st
+  in
+  ignore (walk_stmts ~emit:true (M.empty, M.empty) u.Ast.body);
   (* 3. use before placement (needs the reaching-decompositions hook) *)
   (match reaching with
   | None -> ()

@@ -71,7 +71,12 @@ type coll_payload =
       cs_dist_dim : int option;
       cs_owned_root : Iset.t;
     }
-  | Cp_remap of string
+  | Cp_remap of {
+      cr_array : string;
+      cr_old : Layout.t;  (* reaching layout before the remap *)
+      cr_new : Layout.t;  (* target layout *)
+      cr_move : bool;  (* physical move vs. mark-only (array-kill opt) *)
+    }
 
 type kind =
   | Ev_send of { dest : aff option; tag : int; parts : part list }
@@ -476,7 +481,7 @@ let apply_coll st (ev : event) =
     let loc = ev.e_loc in
     match payload with
     | Cp_scalar _ -> ()
-    | Cp_remap array -> Hashtbl.remove st.received array
+    | Cp_remap { cr_array; _ } -> Hashtbl.remove st.received cr_array
     | Cp_section { cs_array; cs_triplets; cs_dist_dim; cs_owned_root } -> (
       match (cs_triplets, cs_dist_dim, root) with
       | Some tl, Some d, Some r when List.length tl > d ->

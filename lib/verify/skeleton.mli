@@ -58,7 +58,12 @@ type coll_payload =
       cs_dist_dim : int option;
       cs_owned_root : Iset.t;
     }
-  | Cp_remap of string
+  | Cp_remap of {
+      cr_array : string;
+      cr_old : Layout.t;  (** reaching layout before the remap *)
+      cr_new : Layout.t;  (** target layout *)
+      cr_move : bool;  (** physical move vs. mark-only (array-kill opt) *)
+    }
 
 type kind =
   | Ev_send of { dest : aff option; tag : int; parts : part list }

@@ -11,6 +11,10 @@ type result = {
   findings : Finding.t list;
   visits : int;  (* statements the abstract walk visited (bench E13) *)
   events : int;  (* skeleton events replayed *)
+  complete : bool;
+      (* the walk covered the whole program (no budget cutoff), so the
+         replay verdicts are meaningful; surfaces as the JSON envelope's
+         "partial" flag *)
 }
 
 let check_node ?budget ~nprocs (prog : Node.program) : result =
@@ -24,6 +28,7 @@ let check_node ?budget ~nprocs (prog : Node.program) : result =
     findings = Finding.sort (skel_findings @ r.Absint.findings);
     visits = r.Absint.visits;
     events = List.length r.Absint.events;
+    complete = r.Absint.complete;
   }
 
 (* Exit-code discipline shared with fdc: errors always fail; [--strict]

@@ -1,0 +1,255 @@
+(* Differential oracle for the static communication-cost analyzer.
+
+   For every fault-free example under every strategy and at P in
+   {4, 64}, [Cost.analyze] must predict, without simulating, the same
+   message/broadcast/remap counters a simulated run reports — exactly,
+   counter for counter — and, whenever the prediction carries no
+   cost-model assumption ([exact]), the same virtual-time makespan as a
+   compute-free ([flop = mem_op = 0]) simulated run.  Under the full
+   cost model the makespan must be a lower bound on the simulated
+   elapsed time.  A seeded sweep over the Gen workload generator
+   extends the same contract to random programs. *)
+
+open Fd_core
+open Fd_machine
+open Fd_verify
+
+let check = Alcotest.check
+
+let examples_dir =
+  if Sys.file_exists "../examples" then "../examples" else "examples"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let strategies =
+  [
+    ("interproc", Options.Interproc);
+    ("immediate", Options.Immediate);
+    ("runtime", Options.Runtime_resolution);
+  ]
+
+let good_examples =
+  [
+    "fig1.fd"; "fig4.fd"; "fig15.fd"; "jacobi1d.fd"; "jacobi2d.fd";
+    "redblack.fd"; "multi_array.fd"; "dgefa.fd"; "adi_dynamic.fd";
+    "adi_static.fd";
+  ]
+
+(* Predict and simulate the same compiled program under a compute-free
+   cost model; also return the full-model simulated elapsed time. *)
+let face_off ~nprocs ~strategy (cp : Fd_frontend.Sema.checked_program) :
+    Cost.t * Stats.t * float =
+  let opts = { Options.default with strategy; nprocs } in
+  let compiled = Driver.compile ~opts cp in
+  let profile = Cost.profile_of_seq cp in
+  let config = Driver.machine_config opts in
+  let zcfg = { config with Config.flop = 0.0; mem_op = 0.0 } in
+  let c = Cost.analyze ~profile ~config:zcfg compiled.Codegen.program in
+  let stats, _ = Scheduler.run zcfg compiled.Codegen.program in
+  let full_stats, _ = Scheduler.run config compiled.Codegen.program in
+  ignore (Fd_support.Diag.take_warnings ());
+  (c, stats, Stats.elapsed full_stats)
+
+let assert_counters ~what (c : Cost.t) (stats : Stats.t) =
+  let eq name pred sim =
+    check Alcotest.int (Fmt.str "%s: %s" what name) sim pred
+  in
+  eq "messages" c.Cost.messages stats.Stats.messages;
+  eq "message_bytes" c.Cost.message_bytes stats.Stats.message_bytes;
+  eq "bcasts" c.Cost.bcasts stats.Stats.bcasts;
+  eq "bcast_bytes" c.Cost.bcast_bytes stats.Stats.bcast_bytes;
+  eq "remaps" c.Cost.remaps stats.Stats.remaps;
+  eq "remap_marks" c.Cost.remap_marks stats.Stats.remap_marks;
+  eq "remap_bytes" c.Cost.remap_bytes stats.Stats.remap_bytes
+
+let assert_makespan ~what (c : Cost.t) (stats : Stats.t) ~full_elapsed =
+  let sim = Stats.elapsed stats in
+  if c.Cost.exact then
+    check Alcotest.bool
+      (Fmt.str "%s: exact makespan %.9f = simulated %.9f" what c.Cost.makespan
+         sim)
+      true
+      (Float.abs (c.Cost.makespan -. sim) <= 1e-9 *. Float.max 1.0 sim)
+  else
+    check Alcotest.bool
+      (Fmt.str "%s: approximate makespan %.9f <= compute-free simulated %.9f"
+         what c.Cost.makespan sim)
+      true
+      (c.Cost.makespan <= sim +. 1e-9);
+  (* comm-only prediction never exceeds the full-model elapsed time *)
+  check Alcotest.bool
+    (Fmt.str "%s: makespan %.9f <= full-model elapsed %.9f" what
+       c.Cost.makespan full_elapsed)
+    true
+    (c.Cost.makespan <= full_elapsed +. 1e-9)
+
+let test_examples () =
+  List.iter
+    (fun file ->
+      let path = Filename.concat examples_dir file in
+      let cp = Driver.check_source ~file (read_file path) in
+      List.iter
+        (fun (sname, strategy) ->
+          List.iter
+            (fun nprocs ->
+              let what = Fmt.str "%s [%s P=%d]" file sname nprocs in
+              let c, stats, full_elapsed = face_off ~nprocs ~strategy cp in
+              check Alcotest.bool (what ^ ": prediction is exact") true
+                c.Cost.exact;
+              assert_counters ~what c stats;
+              assert_makespan ~what c stats ~full_elapsed)
+            [ 4; 64 ])
+        strategies)
+    good_examples
+
+(* The per-processor piecewise forms must agree with the simulator's
+   per-processor view: summing the pieces reproduces the totals, and
+   evaluating them at each pid is nonnegative. *)
+let test_per_proc_pieces () =
+  List.iter
+    (fun file ->
+      let path = Filename.concat examples_dir file in
+      let cp = Driver.check_source ~file (read_file path) in
+      List.iter
+        (fun nprocs ->
+          let what = Fmt.str "%s [P=%d]" file nprocs in
+          let c, _, _ = face_off ~nprocs ~strategy:Options.Interproc cp in
+          let sum_msgs =
+            List.fold_left (fun a p -> a + Cost.isum_piece p) 0
+              c.Cost.per_proc_messages
+          in
+          let sum_bytes =
+            List.fold_left (fun a p -> a + Cost.isum_piece p) 0
+              c.Cost.per_proc_bytes
+          in
+          check Alcotest.int (what ^ ": pieces sum to total messages")
+            c.Cost.messages sum_msgs;
+          check Alcotest.int (what ^ ": pieces sum to total bytes")
+            c.Cost.message_bytes sum_bytes;
+          let eval_sum =
+            List.init nprocs (fun p -> Cost.messages_at c p)
+            |> List.fold_left ( + ) 0
+          in
+          check Alcotest.int (what ^ ": pointwise evaluation sums to total")
+            c.Cost.messages eval_sum;
+          List.iter
+            (fun p ->
+              check Alcotest.bool (what ^ ": nonnegative per-proc values")
+                true
+                (Cost.messages_at c p >= 0 && Cost.bytes_at c p >= 0
+                && Cost.wait_at c p >= -1e-12))
+            (List.init nprocs Fun.id))
+        [ 4; 64 ])
+    [ "jacobi1d.fd"; "jacobi2d.fd"; "dgefa.fd"; "adi_static.fd" ]
+
+(* Runtime resolution sends one element at a time from jacobi2d's
+   column exchange; the analyzer must prove it and warn, while the
+   vectorized interproc compilation must stay silent. *)
+let test_unvectorized_warning () =
+  let path = Filename.concat examples_dir "jacobi2d.fd" in
+  let cp = Driver.check_source ~file:"jacobi2d.fd" (read_file path) in
+  let has_warning strategy =
+    let c, _, _ = face_off ~nprocs:4 ~strategy cp in
+    List.exists
+      (fun f ->
+        f.Finding.severity = Finding.Warning
+        && f.Finding.kind = "unvectorized-comm")
+      c.Cost.findings
+  in
+  check Alcotest.bool "runtime strategy: per-element sends flagged" true
+    (has_warning Options.Runtime_resolution);
+  check Alcotest.bool "interproc strategy: vectorized, no warning" false
+    (has_warning Options.Interproc)
+
+(* dgefa's pivot-guard IF is data-dependent: without the sequential
+   branch profile the analysis must degrade gracefully to an
+   approximate result with Info findings, not wrong exact numbers. *)
+let test_profile_degradation () =
+  let path = Filename.concat examples_dir "dgefa.fd" in
+  let cp = Driver.check_source ~file:"dgefa.fd" (read_file path) in
+  let opts = { Options.default with nprocs = 4 } in
+  let compiled = Driver.compile ~opts cp in
+  let config = Driver.machine_config opts in
+  let c = Cost.analyze ~config compiled.Codegen.program in
+  check Alcotest.bool "no profile: not exact" false c.Cost.exact;
+  check Alcotest.bool "no profile: assumptions recorded" true
+    (c.Cost.assumptions <> []);
+  check Alcotest.bool "no profile: Info finding per assumption" true
+    (List.exists
+       (fun f ->
+         f.Finding.severity = Finding.Info
+         && f.Finding.kind = "cost-assumption")
+       c.Cost.findings);
+  (* with the profile the same program is exact *)
+  let profile = Cost.profile_of_seq cp in
+  let c2 = Cost.analyze ~profile ~config compiled.Codegen.program in
+  check Alcotest.bool "with profile: exact" true c2.Cost.exact
+
+(* The metrics export must use the simulator's counter names so
+   dashboards can overlay predicted against simulated. *)
+let test_metrics_names () =
+  let path = Filename.concat examples_dir "jacobi1d.fd" in
+  let cp = Driver.check_source ~file:"jacobi1d.fd" (read_file path) in
+  let c, stats, _ = face_off ~nprocs:4 ~strategy:Options.Interproc cp in
+  let m = Cost.to_metrics c in
+  List.iter
+    (fun (name, expected) ->
+      match Fd_trace.Metrics.find m name with
+      | Some (Fd_trace.Metrics.Counter cr) ->
+        check Alcotest.int (Fmt.str "metric %s" name) expected
+          cr.Fd_trace.Metrics.c_value
+      | _ -> Alcotest.failf "metric %s missing from the cost export" name)
+    [
+      ("messages", stats.Stats.messages);
+      ("message_bytes", stats.Stats.message_bytes);
+      ("bcasts", stats.Stats.bcasts);
+      ("bcast_bytes", stats.Stats.bcast_bytes);
+    ];
+  match Fd_trace.Metrics.find m "elapsed_seconds" with
+  | Some (Fd_trace.Metrics.Gauge g) ->
+    check Alcotest.bool "gauge elapsed_seconds = makespan" true
+      (Float.abs (g.Fd_trace.Metrics.g_value -. c.Cost.makespan) < 1e-12)
+  | _ -> Alcotest.fail "gauge elapsed_seconds missing"
+
+(* Gen sweep: the contract holds on random programs, not just the
+   committed corpus.  Generated programs are branch-free, so every
+   prediction should be exact; if one ever is not, the counters must
+   still match (they exclude nothing unless a region was recorded). *)
+let test_gen_property () =
+  let st = Random.State.make [| 0xc057 |] in
+  for _case = 1 to 25 do
+    let src = Fd_workloads.Gen.random_source st in
+    match Driver.check_source src with
+    | cp ->
+      List.iter
+        (fun (sname, strategy) ->
+          match face_off ~nprocs:5 ~strategy cp with
+          | c, stats, full_elapsed ->
+            let what = Fmt.str "gen [%s]:\n%s" sname src in
+            if c.Cost.exact then begin
+              assert_counters ~what c stats;
+              assert_makespan ~what c stats ~full_elapsed
+            end
+          | exception Scheduler.Sim_error _ -> ()
+          | exception Fd_support.Diag.Compile_error _ -> ())
+        strategies
+    | exception Fd_support.Diag.Compile_error _ -> ()
+  done
+
+let suite =
+  [
+    Alcotest.test_case "examples x strategies x P: counters and makespan"
+      `Slow test_examples;
+    Alcotest.test_case "per-processor piecewise forms" `Slow
+      test_per_proc_pieces;
+    Alcotest.test_case "unvectorized-send warning" `Quick
+      test_unvectorized_warning;
+    Alcotest.test_case "profile-free degradation" `Quick
+      test_profile_degradation;
+    Alcotest.test_case "metrics export names" `Quick test_metrics_names;
+    Alcotest.test_case "gen sweep: random programs" `Slow test_gen_property;
+  ]

@@ -44,7 +44,7 @@ let pingpong_prog () =
               Node.N_send { dest = int_e 1;
                             parts = [ ("x", [ (int_e 1, int_e 4, int_e 1) ]) ];
                             tag = 1; loc = nloc } ];
-          else_ = [ Node.N_recv { src = int_e 0; tag = 1; loc = nloc } ] } ]
+          else_ = [ Node.N_recv { src = int_e 0; tag = 1; loc = nloc } ] ; loc = nloc } ]
 
 let run_with ?faults prog nprocs =
   Scheduler.run (Config.make ~nprocs ?faults ()) prog
@@ -175,7 +175,7 @@ let deadlock_cycle_extracted () =
     [ Node.N_if
         { cond = Ast.Bin (Ast.Eq, myp, int_e 0);
           then_ = [ Node.N_recv { src = int_e 1; tag = 3; loc = nloc } ];
-          else_ = [ Node.N_recv { src = int_e 0; tag = 3; loc = nloc } ] } ]
+          else_ = [ Node.N_recv { src = int_e 0; tag = 3; loc = nloc } ] ; loc = nloc } ]
   in
   match run_with (node_prog ~arrays body) 2 with
   | _ -> Alcotest.fail "expected deadlock"
@@ -196,7 +196,7 @@ let deadlock_names_collective_sites () =
           then_ = [ Node.N_bcast { root = int_e 0;
                                    payload = Node.P_scalar "s"; site = 1; loc = nloc } ];
           else_ = [ Node.N_bcast { root = int_e 0;
-                                   payload = Node.P_scalar "s"; site = 2; loc = nloc } ] } ]
+                                   payload = Node.P_scalar "s"; site = 2; loc = nloc } ] ; loc = nloc } ]
   in
   match run_with (node_prog ~arrays body) 2 with
   | _ -> Alcotest.fail "expected deadlock"
@@ -225,7 +225,7 @@ let deadlock_mixed_recv_and_collective () =
         { cond = Ast.Bin (Ast.Eq, myp, int_e 0);
           then_ = [ Node.N_recv { src = int_e 1; tag = 4; loc = nloc } ];
           else_ = [ Node.N_bcast { root = int_e 1;
-                                   payload = Node.P_scalar "s"; site = 9; loc = nloc } ] } ]
+                                   payload = Node.P_scalar "s"; site = 9; loc = nloc } ] ; loc = nloc } ]
   in
   match run_with (node_prog ~arrays body) 2 with
   | _ -> Alcotest.fail "expected deadlock"
@@ -251,7 +251,7 @@ let strict_validity_structured () =
         [ Node.N_if
             { cond = Ast.Bin (Ast.Eq, myp, int_e 1);
               then_ = [ Node.N_assign (Ast.Var "v", Ast.Ref ("x", [ int_e 1 ])) ];
-              else_ = [] } ]
+              else_ = [] ; loc = nloc } ]
       in
       match run_with (node_prog ~arrays body) 2 with
       | _ -> Alcotest.fail (name ^ ": expected strict-validity violation")

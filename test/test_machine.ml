@@ -140,7 +140,7 @@ let sched_pingpong () =
               Node.N_send { dest = int_e 1;
                             parts = [ ("x", [ (int_e 1, int_e 4, int_e 1) ]) ];
                             tag = 1; loc = nloc } ];
-          else_ = [ Node.N_recv { src = int_e 0; tag = 1; loc = nloc } ] } ]
+          else_ = [ Node.N_recv { src = int_e 0; tag = 1; loc = nloc } ] ; loc = nloc } ]
   in
   let stats, frames = run (node_prog ~arrays body) 2 in
   check_int "one message" 1 stats.Stats.messages;
@@ -162,7 +162,7 @@ let sched_recv_before_send () =
     [ Node.N_if
         { cond = Ast.Bin (Ast.Eq, myp, int_e 1);
           then_ = [ Node.N_recv { src = int_e 0; tag = 9; loc = nloc } ];
-          else_ = [] };
+          else_ = [] ; loc = nloc };
       Node.N_if
         { cond = Ast.Bin (Ast.Eq, myp, int_e 0);
           then_ =
@@ -170,7 +170,7 @@ let sched_recv_before_send () =
               Node.N_send { dest = int_e 1;
                             parts = [ ("x", [ (int_e 1, int_e 1, int_e 1) ]) ];
                             tag = 9; loc = nloc } ];
-          else_ = [] } ]
+          else_ = [] ; loc = nloc } ]
   in
   let stats, _ = run (node_prog ~arrays body) 2 in
   check_int "delivered" 1 stats.Stats.messages
@@ -191,7 +191,7 @@ let sched_bcast () =
     [ Node.N_if
         { cond = Ast.Bin (Ast.Eq, myp, int_e 0);
           then_ = [ Node.N_assign (Ast.Ref ("x", [ int_e 2 ]), Ast.Real_const 9.0) ];
-          else_ = [] };
+          else_ = [] ; loc = nloc };
       Node.N_bcast
         { root = int_e 0; payload = Node.P_section ("x", [ (int_e 2, int_e 2, int_e 1) ]);
           site = 1; loc = nloc } ]
@@ -216,7 +216,7 @@ let sched_collective_site_mismatch () =
           then_ = [ Node.N_bcast { root = int_e 0;
                                    payload = Node.P_scalar "s"; site = 1; loc = nloc } ];
           else_ = [ Node.N_bcast { root = int_e 0;
-                                   payload = Node.P_scalar "s"; site = 2; loc = nloc } ] } ]
+                                   payload = Node.P_scalar "s"; site = 2; loc = nloc } ] ; loc = nloc } ]
   in
   check "mismatched sites deadlock" true
     (match run (node_prog ~arrays body) 2 with

@@ -16,6 +16,7 @@ let () =
       ("absdom", Test_absdom.suite);
       ("faults", Test_faults.suite);
       ("verify", Test_verify.suite);
+      ("cost", Test_cost.suite);
       ("trace", Test_trace.suite);
       ("integration", Test_integration.suite);
       ("totality", Test_totality.suite);

@@ -25,7 +25,7 @@ let ordering () =
   Alcotest.(check (list string))
     "pipeline order"
     [ "parse"; "sema"; "cloning"; "acg"; "reaching_decomps"; "side_effects";
-      "local_summaries"; "codegen"; "verify" ]
+      "local_summaries"; "codegen"; "verify"; "cost" ]
     Pipeline.pass_names;
   (* cloning must run before the ACG is built: the compile-time call
      graph is over the cloned program *)

@@ -112,7 +112,7 @@ let sched_fifo () =
               Node.N_send { dest = int_e 1; parts = [ ("x", [ (int_e 2, int_e 2, int_e 1) ]) ]; tag = 4; loc = nloc } ];
           else_ =
             [ Node.N_recv { src = int_e 0; tag = 4; loc = nloc };
-              Node.N_recv { src = int_e 0; tag = 4; loc = nloc } ] } ]
+              Node.N_recv { src = int_e 0; tag = 4; loc = nloc } ] ; loc = nloc } ]
   in
   let prog =
     { Node.n_main = "m"; n_nprocs = 2;

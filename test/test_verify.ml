@@ -44,7 +44,7 @@ let good_examples =
 let bad_examples =
   [
     "bad_tag.fd"; "bad_bounds.fd"; "bad_collective.fd"; "bad_deadsend.fd";
-    "bad_undistributed.fd"; "bad_alignless.fd";
+    "bad_undistributed.fd"; "bad_alignless.fd"; "bad_noopremap.fd";
   ]
 
 type outcome = {
@@ -148,7 +148,10 @@ let test_bad_flagged () =
 let test_bad_dynamics () =
   let dies = [ "bad_tag.fd"; "bad_bounds.fd"; "bad_collective.fd" ] in
   let survives =
-    [ "bad_deadsend.fd"; "bad_undistributed.fd"; "bad_alignless.fd" ]
+    [
+      "bad_deadsend.fd"; "bad_undistributed.fd"; "bad_alignless.fd";
+      "bad_noopremap.fd";
+    ]
   in
   List.iter
     (fun file ->
@@ -219,6 +222,98 @@ let test_sampled_p () =
         bad_examples)
     sampled_nprocs
 
+(* Payload-size oracle: expanding the skeleton's affine send sections
+   at each concrete sender pid must reproduce — as a multiset over
+   (src, dest, tag) — the exact byte sizes the simulator puts on the
+   wire.  A send the walker cannot size statically (wildcard
+   destination, unevaluable section, excluded region) drops the file
+   from the comparison; the regular stencil examples must never drop. *)
+let test_payload_sizes () =
+  let must_compare = [ "jacobi1d.fd"; "jacobi2d.fd"; "redblack.fd" ] in
+  List.iter
+    (fun nprocs ->
+      let compared = ref [] in
+      List.iter
+        (fun file ->
+          let path = Filename.concat examples_dir file in
+          let src = read_file path in
+          let opts =
+            { Options.default with strategy = Options.Interproc; nprocs }
+          in
+          let cp = Driver.check_source ~file src in
+          let compiled = Driver.compile ~opts cp in
+          let prog = compiled.Codegen.program in
+          let branch_oracle = Cost.(oracle (profile_of_seq cp)) in
+          let r = Absint.walk ~branch_oracle ~nprocs prog in
+          let word = (Driver.machine_config opts).Config.word_bytes in
+          let static = ref [] and sizable = ref true in
+          List.iter
+            (fun (e : Skeleton.event) ->
+              match e.Skeleton.e_kind with
+              | Skeleton.Ev_send { dest; tag; parts } -> (
+                match dest with
+                | None -> sizable := false
+                | Some d ->
+                  for s = e.Skeleton.e_plo to e.Skeleton.e_phi do
+                    let elems =
+                      List.fold_left
+                        (fun acc (p : Skeleton.part) ->
+                          match (acc, p.Skeleton.p_triplets) with
+                          | Some a, Some trs ->
+                            Some
+                              (a
+                              + List.fold_left
+                                  (fun m tr ->
+                                    m
+                                    * Fd_support.Triplet.count
+                                        (Skeleton.triplet_at tr s))
+                                  1 trs)
+                          | _ -> None)
+                        (Some 0) parts
+                    in
+                    match elems with
+                    | Some n ->
+                      static :=
+                        (s, Skeleton.aff_at d s, tag, n * word) :: !static
+                    | None -> sizable := false
+                  done)
+              | _ -> ())
+            r.Absint.events;
+          if r.Absint.complete && !sizable then begin
+            compared := file :: !compared;
+            let config =
+              { (Driver.machine_config opts) with Config.record_trace = true }
+            in
+            let stats, _ = Scheduler.run config prog in
+            let sim =
+              List.filter_map
+                (function
+                  | Stats.Ev_send { src; dest; tag; bytes; at = _ } ->
+                    Some (src, dest, tag, bytes)
+                  | _ -> None)
+                (Stats.trace stats)
+            in
+            let show l =
+              List.sort compare l
+              |> List.map (fun (s, d, t, b) ->
+                     Fmt.str "%d->%d tag=%d bytes=%d" s d t b)
+            in
+            check (Alcotest.list Alcotest.string)
+              (Fmt.str "%s [P=%d]: static payload sizes match the wire" file
+                 nprocs)
+              (show sim) (show !static)
+          end;
+          ignore (Fd_support.Diag.take_warnings ()))
+        good_examples;
+      List.iter
+        (fun file ->
+          check Alcotest.bool
+            (Fmt.str "%s [P=%d]: statically sizable" file nprocs)
+            true
+            (List.mem file !compared))
+        must_compare)
+    sampled_nprocs
+
 let suite =
   [
     Alcotest.test_case "good examples: sound and strict-clean" `Slow
@@ -229,4 +324,5 @@ let suite =
       test_bad_dynamics;
     Alcotest.test_case "differential oracle at sampled P" `Slow
       test_sampled_p;
+    Alcotest.test_case "payload sizes at sampled P" `Slow test_payload_sizes;
   ]
