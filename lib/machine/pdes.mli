@@ -1,0 +1,53 @@
+(** Parallel generation phase of the domains scheduler.
+
+    [generate] runs the per-processor interpreters as effect-handler
+    coroutines sharded across OCaml 5 domains, batched by a safe-window
+    barrier, and records each processor's {e action stream}: the exact
+    sequence of effects it performed with compute costs and
+    interpreter-level trace events attached.  The sequential scheduler
+    ({!Scheduler}) then {e replays} the streams through its unmodified
+    event loop, which makes every observable — [Stats.to_json], trace
+    ring contents and order, outputs, error behaviour — bit-identical
+    to a [domains = 1] run by construction. *)
+
+open Fd_support
+
+type action = {
+  a_flops : int;   (** flops charged since the previous action *)
+  a_mems : int;    (** memory ops charged since the previous action *)
+  a_emits : Fd_trace.Trace.ev list;
+      (** interpreter-level trace events (owner-guard skips) since the
+          previous action, oldest first; replayed verbatim *)
+  a_op : op;
+}
+
+and op =
+  | A_tick of float  (** the Tick effect's argument, pre-slowdown *)
+  | A_send of Message.t
+      (** seq reset to 0 and payload stripped: replay re-stamps/re-prices *)
+  | A_recv of { src : int; tag : int; loc : Loc.t }
+  | A_coll of { site : int; op : Eff.coll_op; loc : Loc.t;
+                post : (int * int) ref }
+      (** [op] is the scripted replay op; [post] holds the broadcast
+          root's read() (flops, mem_ops) deltas, charged at perform time *)
+  | A_output of string
+  | A_done           (** the processor's computation returned *)
+  | A_raise of exn   (** the computation raised; replay re-raises *)
+
+type result = {
+  scripts : action list array;  (** per-processor action streams *)
+  frames : Interp.frame option array;
+      (** final frame for processors that ran to completion *)
+  g_exhausted : string option;
+      (** budget reason, if generation truncated any stream; the replay
+          raises [Budget_stop] with it should a stream run dry *)
+}
+
+val generate :
+  ?budget:Budget.t -> Config.t -> Node.program -> result
+(** Run the generation phase on [max 1 (min config.domains nprocs)]
+    domains.  Each processor gets a {e fresh} budget at the full limits
+    (one processor's usage is bounded by the ensemble total, so for
+    step/event budgets the replay's shared budget always trips before
+    any stream runs dry, keeping budgeted partial results bit-identical;
+    wall-clock budgets yield a valid sequential {e prefix} instead). *)

@@ -58,6 +58,9 @@ type t = {
   cap : int;
   buf : ev array;
   mutable total : int;  (* events ever emitted; ring slot = total mod cap *)
+  sink : (ev -> unit) option;
+      (* lossless side-channel: called with a private copy of every
+         emitted event, even ones the ring later overwrites *)
 }
 
 let default_capacity = 1 lsl 16
@@ -66,15 +69,19 @@ let fresh_ev () =
   { at = 0.0; kind = Send; proc = -1; peer = -1; tag = -1; seq = -1; bytes = 0;
     dur = 0.0; label = "" }
 
-let create ?(capacity = default_capacity) () =
+let create ?(capacity = default_capacity) ?sink () =
   let cap = max 1 capacity in
-  { cap; buf = Array.init cap (fun _ -> fresh_ev ()); total = 0 }
+  { cap; buf = Array.init cap (fun _ -> fresh_ev ()); total = 0; sink }
 
 let capacity t = t.cap
 let total t = t.total
 let length t = min t.total t.cap
 let dropped t = max 0 (t.total - t.cap)
 let clear t = t.total <- 0
+
+let copy_ev e =
+  { at = e.at; kind = e.kind; proc = e.proc; peer = e.peer; tag = e.tag;
+    seq = e.seq; bytes = e.bytes; dur = e.dur; label = e.label }
 
 let emit t ~kind ~at ~proc ?(peer = -1) ?(tag = -1) ?(seq = -1) ?(bytes = 0)
     ?(dur = 0.0) ?(label = "") () =
@@ -88,7 +95,13 @@ let emit t ~kind ~at ~proc ?(peer = -1) ?(tag = -1) ?(seq = -1) ?(bytes = 0)
   e.bytes <- bytes;
   e.dur <- dur;
   e.label <- label;
-  t.total <- t.total + 1
+  t.total <- t.total + 1;
+  match t.sink with Some f -> f (copy_ev e) | None -> ()
+
+(* Re-emit a captured event verbatim (parallel-replay path). *)
+let emit_ev t ev =
+  emit t ~kind:ev.kind ~at:ev.at ~proc:ev.proc ~peer:ev.peer ~tag:ev.tag
+    ~seq:ev.seq ~bytes:ev.bytes ~dur:ev.dur ~label:ev.label ()
 
 (* Chronological iteration over the retained window.  The record handed
    to [f] is the ring's own slot: read it, do not retain it. *)
@@ -97,10 +110,6 @@ let iter t f =
   for k = start to t.total - 1 do
     f t.buf.(k mod t.cap)
   done
-
-let copy_ev e =
-  { at = e.at; kind = e.kind; proc = e.proc; peer = e.peer; tag = e.tag;
-    seq = e.seq; bytes = e.bytes; dur = e.dur; label = e.label }
 
 let to_list t =
   let out = ref [] in

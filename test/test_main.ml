@@ -19,5 +19,6 @@ let () =
       ("cost", Test_cost.suite);
       ("trace", Test_trace.suite);
       ("integration", Test_integration.suite);
+      ("pdes", Test_pdes.suite);
       ("totality", Test_totality.suite);
     ]

@@ -1,0 +1,322 @@
+(* Differential determinism oracle for the domains-parallel scheduler.
+
+   The parallel scheduler (Pdes generation + sequential replay) claims
+   bit-identity: for any program, strategy, processor count, fault plan,
+   and budget, running on N domains produces byte-for-byte the same
+   Stats.to_json, the same trace-ring contents in the same order (which
+   subsumes the trace-event-multiset guarantee), the same normalized
+   skeleton, and the same outputs as the sequential path.  This suite
+   holds it to that claim:
+
+   - every committed example x 3 strategies x P in {4, 64, 256}
+     x domains in {2, 4, 8}, against the domains=1 baseline;
+   - the same grid under the differential fault oracle's seed grid
+     (seeds 11, 42 at the low and high intensities);
+   - Gen-driven random programs (including 2-D) at random
+     (P, domains, safe-window) triples, shrunk via {!Fd_fuzz.Shrink}
+     with a repro line on failure;
+   - budgeted runs: step/event budgets must produce bit-identical
+     partial results; wall-clock budgets a consistent sequential prefix
+     (see the budget cases below for the exact guarantee). *)
+
+open Fd_core
+open Fd_machine
+module Tr = Fd_trace.Trace
+module Export = Fd_trace.Export
+
+let prop ?(count = 60) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen f)
+
+let examples_dir =
+  if Sys.file_exists "../examples" then "../examples" else "examples"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let strategies =
+  [
+    ("interproc", Options.Interproc);
+    ("immediate", Options.Immediate);
+    ("runtime", Options.Runtime_resolution);
+  ]
+
+let examples =
+  [
+    "fig1.fd"; "fig4.fd"; "fig15.fd"; "jacobi1d.fd"; "jacobi2d.fd";
+    "redblack.fd"; "multi_array.fd"; "dgefa.fd"; "adi_dynamic.fd";
+    "adi_static.fd";
+  ]
+
+let compile ~strategy ~nprocs src =
+  let opts = { Options.default with Options.nprocs; strategy } in
+  (Driver.compile_source ~opts src).Codegen.program
+
+(* One simulation, returning every observable the bit-identity claim
+   covers: the full Stats JSON (counters, clocks, busy, outputs, the
+   recorded event log), the trace ring's events in emission order, the
+   normalized golden skeleton, and the partial-result marker. *)
+type obs = {
+  o_stats : string;
+  o_raw : Stats.t;
+  o_events : Tr.ev list;
+  o_skeleton : string list;
+  o_partial : string option;
+  o_completed : bool;
+}
+
+let sim ?budget ?faults ?safe_window ~nprocs ~domains prog =
+  let tr = Tr.create () in
+  let config =
+    Config.make ~domains ?safe_window ~nprocs ~record_trace:true ?faults
+      ~trace:tr ()
+  in
+  let r = Scheduler.run_partial ?budget config prog in
+  {
+    o_stats = Fd_support.Json.to_string (Stats.to_json r.Scheduler.p_stats);
+    o_raw = r.Scheduler.p_stats;
+    o_events = Tr.to_list tr;
+    o_skeleton = Export.skeleton tr;
+    o_partial = r.Scheduler.p_exhausted;
+    o_completed = r.Scheduler.p_frames <> None;
+  }
+
+(* Run [sim] capturing a simulation error as part of the observable:
+   error behaviour must be identical across domains too. *)
+let sim_or_error ?budget ?faults ?safe_window ~nprocs ~domains prog =
+  match sim ?budget ?faults ?safe_window ~nprocs ~domains prog with
+  | o -> Ok o
+  | exception Scheduler.Sim_error e -> Error (Scheduler.error_to_string e)
+
+let check_obs label base o =
+  Alcotest.(check string) (label ^ ": stats json") base.o_stats o.o_stats;
+  Alcotest.(check bool) (label ^ ": trace events bit-identical") true
+    (base.o_events = o.o_events);
+  Alcotest.(check (list string)) (label ^ ": skeleton") base.o_skeleton
+    o.o_skeleton;
+  Alcotest.(check (option string)) (label ^ ": partial") base.o_partial
+    o.o_partial;
+  Alcotest.(check bool) (label ^ ": completed") base.o_completed o.o_completed
+
+(* Sequential runs on a shared compiled program must already be
+   reproducible; this canary isolates state-leak failures from genuine
+   parallel-scheduler failures in the matrix below. *)
+let sequential_rerun_canary () =
+  let src = read_file (Filename.concat examples_dir "jacobi2d.fd") in
+  let prog = compile ~strategy:Options.Interproc ~nprocs:8 src in
+  let a = sim ~nprocs:8 ~domains:1 prog in
+  let b = sim ~nprocs:8 ~domains:1 prog in
+  check_obs "seq rerun" a b
+
+(* The fault-free matrix: every example x strategy x P x domains.  At
+   P=256 the runtime-resolution strategy generates millions of messages
+   and a single cell runs for tens of seconds, so the default grid trims
+   that band to the interproc/immediate strategies and domains {2, 8};
+   set FDC_PDES_FULL=1 for the untrimmed grid. *)
+let full_grid = Sys.getenv_opt "FDC_PDES_FULL" <> None
+
+let example_matrix () =
+  if not full_grid then
+    print_endline
+      "pdes: P=256 band trimmed to interproc/immediate x domains {2,8} \
+       (set FDC_PDES_FULL=1 for the full grid)";
+  let grid nprocs =
+    if nprocs < 256 || full_grid then (strategies, [ 2; 4; 8 ])
+    else
+      ( List.filter (fun (n, _) -> n <> "runtime") strategies,
+        [ 2; 8 ] )
+  in
+  List.iter
+    (fun file ->
+      let src = read_file (Filename.concat examples_dir file) in
+      List.iter
+        (fun nprocs ->
+          let strats, domain_counts = grid nprocs in
+          List.iter
+            (fun (sname, strategy) ->
+              let prog = compile ~strategy ~nprocs src in
+              let base = sim ~nprocs ~domains:1 prog in
+              List.iter
+                (fun domains ->
+                  let label =
+                    Printf.sprintf "%s %s P=%d domains=%d" file sname nprocs
+                      domains
+                  in
+                  check_obs label base (sim ~nprocs ~domains prog))
+                domain_counts)
+            strats)
+        [ 4; 64; 256 ])
+    examples
+
+(* The same bit-identity under an adversarial network: the differential
+   fault oracle's seed grid (low and high intensities).  Faults make the
+   schedule-independence claim earn its keep: retransmit latencies,
+   duplicates, and delays all key off per-channel sequence numbers that
+   generation must reproduce exactly. *)
+let fault_grid () =
+  let intensities =
+    [
+      ("low", fun seed -> Fault.make ~seed ~drop:0.05 ~dup:0.05 ~delay:200e-6 ());
+      ("high", fun seed -> Fault.make ~seed ~drop:0.3 ~dup:0.2 ~delay:1e-3 ());
+    ]
+  in
+  List.iter
+    (fun file ->
+      let src = read_file (Filename.concat examples_dir file) in
+      let prog = compile ~strategy:Options.Interproc ~nprocs:8 src in
+      List.iter
+        (fun seed ->
+          List.iter
+            (fun (iname, plan) ->
+              let faults = plan seed in
+              let base = sim_or_error ~faults ~nprocs:8 ~domains:1 prog in
+              List.iter
+                (fun domains ->
+                  let label =
+                    Printf.sprintf "%s seed=%d %s domains=%d" file seed iname
+                      domains
+                  in
+                  match (base, sim_or_error ~faults ~nprocs:8 ~domains prog) with
+                  | Ok b, Ok o -> check_obs label b o
+                  | Error b, Error o ->
+                    Alcotest.(check string) (label ^ ": error") b o
+                  | Ok _, Error e ->
+                    Alcotest.failf "%s: parallel errored (%s), sequential ran"
+                      label e
+                  | Error e, Ok _ ->
+                    Alcotest.failf "%s: sequential errored (%s), parallel ran"
+                      label e)
+                [ 2; 4 ])
+            intensities)
+        [ 11; 42 ])
+    examples
+
+(* --- Budgets ------------------------------------------------------------- *)
+
+(* Step and event budgets are charged action-by-action during the
+   replay, and generation gives every processor a fresh budget at the
+   full limits (one processor's usage is bounded by the ensemble total),
+   so budgeted partial results are bit-identical, reason included. *)
+let budget_steps_bit_identical () =
+  let src = read_file (Filename.concat examples_dir "dgefa.fd") in
+  let prog = compile ~strategy:Options.Interproc ~nprocs:8 src in
+  List.iter
+    (fun budget ->
+      let base = sim ~budget ~nprocs:8 ~domains:1 prog in
+      List.iter
+        (fun domains ->
+          let label =
+            Printf.sprintf "steps=%s domains=%d"
+              (match budget.Fd_support.Budget.steps with
+              | Some n -> string_of_int n
+              | None -> "-")
+              domains
+          in
+          check_obs label base (sim ~budget ~nprocs:8 ~domains prog))
+        [ 2; 4; 8 ])
+    [
+      { Fd_support.Budget.steps = Some 100; events = None; wall = None };
+      { Fd_support.Budget.steps = Some 500; events = None; wall = None };
+      { Fd_support.Budget.steps = None; events = Some 40; wall = None };
+      { Fd_support.Budget.steps = None; events = Some 200; wall = None };
+    ]
+
+(* Wall-clock budgets depend on host time, so bit-identity is impossible
+   even sequentially; the documented guarantee is weaker: the run either
+   completes bit-identically or stops with a partial marker whose
+   statistics are a prefix of some sequential execution — every monotone
+   counter bounded by the completed run's value.  (Wall time is only
+   sampled every 1024 budget ticks, so a run shorter than one stride
+   legitimately completes; dgefa at P=64 is comfortably past it.) *)
+let budget_wall_prefix () =
+  let src = read_file (Filename.concat examples_dir "dgefa.fd") in
+  let prog = compile ~strategy:Options.Interproc ~nprocs:64 src in
+  let full = sim ~nprocs:64 ~domains:1 prog in
+  let budget = { Fd_support.Budget.steps = None; events = None; wall = Some 0.0 } in
+  let o = sim ~budget ~nprocs:64 ~domains:4 prog in
+  Alcotest.(check bool) "stopped early" true (o.o_partial <> None);
+  Alcotest.(check bool) "no final frames" false o.o_completed;
+  let counters (s : Stats.t) =
+    [
+      ("messages", s.Stats.messages);
+      ("message_bytes", s.Stats.message_bytes);
+      ("bcasts", s.Stats.bcasts);
+      ("bcast_bytes", s.Stats.bcast_bytes);
+      ("remaps", s.Stats.remaps);
+      ("remap_bytes", s.Stats.remap_bytes);
+      ("flops", s.Stats.flops);
+      ("mem_ops", s.Stats.mem_ops);
+    ]
+  in
+  List.iter2
+    (fun (k, vfull) (_, vpart) ->
+      if vpart > vfull then
+        Alcotest.failf "counter %s exceeds the completed run: %d > %d" k vpart
+          vfull)
+    (counters full.o_raw) (counters o.o_raw)
+
+(* --- Properties over generated programs ---------------------------------- *)
+
+let src_of_seed ?(two_d = false) seed =
+  let st = Random.State.make [| seed |] in
+  if two_d then Fd_workloads.Gen.random_source2d st
+  else Fd_workloads.Gen.random_source st
+
+let case_gen =
+  QCheck2.Gen.(
+    quad (int_range 0 100_000)
+      (oneofl [ 3; 4; 7; 16 ])
+      (oneofl [ 2; 3; 4; 8 ])
+      (oneofl [ None; Some 0.0; Some 1e-6; Some 1e-3 ]))
+
+let agrees ?safe_window ~nprocs ~domains src =
+  let prog = compile ~strategy:Options.Interproc ~nprocs src in
+  let base = sim ~nprocs ~domains:1 prog in
+  let o = sim ?safe_window ~nprocs ~domains prog in
+  base.o_stats = o.o_stats
+  && base.o_events = o.o_events
+  && base.o_skeleton = o.o_skeleton
+
+(* On failure, shrink the source (keeping "still disagrees") and print a
+   self-contained repro line. *)
+let check_generated ?safe_window ~nprocs ~domains ~seed src =
+  agrees ?safe_window ~nprocs ~domains src
+  ||
+  let keep s =
+    try not (agrees ?safe_window ~nprocs ~domains s) with _ -> true
+  in
+  let small = Fd_fuzz.Shrink.shrink ~keep src in
+  Printf.printf
+    "repro: seed=%d nprocs=%d domains=%d safe-window=%s\n\
+     --- shrunk reproducer ---\n%s\n--- end ---\n"
+    seed nprocs domains
+    (match safe_window with
+    | None -> "default"
+    | Some w -> string_of_float w)
+    small;
+  false
+
+let random_parallel_agrees (seed, nprocs, domains, safe_window) =
+  check_generated ?safe_window ~nprocs ~domains ~seed (src_of_seed seed)
+
+let random_parallel_agrees_2d (seed, nprocs, domains, safe_window) =
+  check_generated ?safe_window ~nprocs ~domains ~seed
+    (src_of_seed ~two_d:true seed)
+
+let suite =
+  [
+    Alcotest.test_case "sequential rerun canary" `Quick sequential_rerun_canary;
+    Alcotest.test_case "examples x strategies x P x domains bit-identical"
+      `Slow example_matrix;
+    Alcotest.test_case "fault grid bit-identical" `Slow fault_grid;
+    Alcotest.test_case "step/event budgets bit-identical" `Quick
+      budget_steps_bit_identical;
+    Alcotest.test_case "wall budget yields a sequential prefix" `Quick
+      budget_wall_prefix;
+    prop ~count:40 "generated: parallel agrees at random (P, domains, window)"
+      case_gen random_parallel_agrees;
+    prop ~count:15 "generated 2-D: parallel agrees" case_gen
+      random_parallel_agrees_2d;
+  ]
